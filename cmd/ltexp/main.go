@@ -1,0 +1,70 @@
+// Command ltexp regenerates the paper's figures and tables.
+//
+// Usage:
+//
+//	ltexp -exp fig8                 # one experiment, default scale (small)
+//	ltexp -exp all -scale medium    # every experiment at medium scale
+//	ltexp -exp table3 -bench mcf,em3d,swim
+//	ltexp -list                     # enumerate experiment ids
+//
+// Experiment ids map to the paper artifacts; see DESIGN.md §3.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/exp"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		expID   = flag.String("exp", "", "experiment id (or 'all')")
+		scale   = flag.String("scale", "small", "workload scale: small|medium|large")
+		seed    = flag.Uint64("seed", 1, "workload seed")
+		benches = flag.String("bench", "", "comma-separated benchmark subset (default: experiment's own)")
+		list    = flag.Bool("list", false, "list experiment ids and exit")
+		quiet   = flag.Bool("q", false, "suppress progress output")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, id := range exp.IDs() {
+			fmt.Println(id)
+		}
+		return
+	}
+	if *expID == "" {
+		fmt.Fprintln(os.Stderr, "ltexp: -exp required (try -list)")
+		os.Exit(2)
+	}
+	sc, err := workload.ParseScale(*scale)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ltexp:", err)
+		os.Exit(2)
+	}
+	opts := exp.Options{Scale: sc, Seed: *seed}
+	if *benches != "" {
+		opts.Benchmarks = strings.Split(*benches, ",")
+	}
+	if !*quiet {
+		opts.Progress = os.Stderr
+	}
+
+	ids := []string{*expID}
+	if *expID == "all" {
+		ids = exp.IDs()
+	}
+	for _, id := range ids {
+		rep, err := exp.Run(id, opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ltexp: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		rep.Render(os.Stdout)
+		fmt.Println()
+	}
+}

@@ -1,0 +1,163 @@
+// Command ltsim runs a single simulation: one workload through one
+// predictor, in trace-driven (coverage) or cycle-timing mode.
+//
+// Usage:
+//
+//	ltsim -bench mcf -pred lt-cords            # coverage run
+//	ltsim -bench swim -pred ghb -timing        # timing run (IPC, traffic)
+//	ltsim -bench art -pred dbcp -timing -l2 4  # with a 4MB L2
+//	ltsim -list                                # list benchmarks
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/cpu"
+	"repro/internal/dbcp"
+	"repro/internal/ghb"
+	"repro/internal/mem"
+	"repro/internal/sim"
+	"repro/internal/stride"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func buildPredictor(name string) (sim.Prefetcher, error) {
+	l1 := sim.PaperL1D()
+	switch name {
+	case "none":
+		return sim.Null{}, nil
+	case "lt-cords":
+		return core.New(l1, core.DefaultParams())
+	case "dbcp":
+		return dbcp.New(l1, dbcp.DefaultParams())
+	case "dbcp-unlimited":
+		return dbcp.New(l1, dbcp.UnlimitedParams())
+	case "ghb":
+		return ghb.New(l1, ghb.DefaultParams())
+	case "stride":
+		return stride.New(l1, stride.DefaultParams())
+	}
+	return nil, fmt.Errorf("unknown predictor %q (none|lt-cords|dbcp|dbcp-unlimited|ghb|stride)", name)
+}
+
+func main() {
+	var (
+		bench   = flag.String("bench", "mcf", "benchmark preset name")
+		traceIn = flag.String("trace", "", "binary trace file to simulate instead of a preset (see lttrace)")
+		pred    = flag.String("pred", "lt-cords", "predictor: none|lt-cords|dbcp|dbcp-unlimited|ghb|stride")
+		scale   = flag.String("scale", "small", "workload scale: small|medium|large")
+		seed    = flag.Uint64("seed", 1, "workload seed")
+		timing  = flag.Bool("timing", false, "run the cycle timing model instead of trace-driven coverage")
+		l2mb    = flag.Int("l2", 1, "L2 size in MB (timing mode)")
+		withL2  = flag.Bool("withl2", false, "track L2 misses in coverage mode")
+		list    = flag.Bool("list", false, "list benchmark presets and exit")
+		perfect = flag.Bool("perfect", false, "perfect L1 (timing mode upper bound)")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, p := range workload.Presets() {
+			fmt.Printf("%-9s %-8s corr=%-8s mpki=%.1f dep=%v\n", p.Name, p.Suite, p.Corr, p.BranchMPKI, p.DepHeavy)
+		}
+		return
+	}
+	pf, err := buildPredictor(*pred)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ltsim:", err)
+		os.Exit(2)
+	}
+	var src trace.Source
+	var p workload.Preset
+	sc := workload.Small
+	if *traceIn != "" {
+		f, err := os.Open(*traceIn)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ltsim:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		r, err := trace.NewReader(f)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ltsim:", err)
+			os.Exit(1)
+		}
+		src = r
+		p.Name = *traceIn
+	} else {
+		var ok bool
+		p, ok = workload.ByName(*bench)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "ltsim: unknown benchmark %q (try -list)\n", *bench)
+			os.Exit(2)
+		}
+		sc, err = workload.ParseScale(*scale)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ltsim:", err)
+			os.Exit(2)
+		}
+		src = p.Source(sc, *seed)
+	}
+
+	if *timing {
+		params := cpu.DefaultParams()
+		params.BranchMPKI = p.BranchMPKI
+		params.PerfectL1 = *perfect
+		l2 := sim.PaperL2()
+		l2.Size = *l2mb * mem.MiB
+		e, err := cpu.NewEngine(params, cache.Config{}, l2)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ltsim:", err)
+			os.Exit(1)
+		}
+		r := e.Run(src, pf)
+		fmt.Printf("benchmark:      %s (%s scale, seed %d)\n", p.Name, sc, *seed)
+		fmt.Printf("predictor:      %s\n", r.Predictor)
+		fmt.Printf("instructions:   %d\n", r.Instrs)
+		fmt.Printf("references:     %d\n", r.Refs)
+		fmt.Printf("cycles:         %d\n", r.Cycles)
+		fmt.Printf("IPC:            %.3f\n", r.IPC())
+		fmt.Printf("L1 misses:      %d\n", r.L1Misses)
+		fmt.Printf("L2 misses:      %d\n", r.L2Misses)
+		fmt.Printf("TLB misses:     %d\n", r.TLBMiss)
+		fmt.Printf("bytes/instr:    %.3f (base %.3f, incorrect %.3f, seq-write %.3f, seq-fetch %.3f)\n",
+			r.BytesPerInstr(),
+			float64(r.BytesBaseData)/float64(r.Instrs),
+			float64(r.BytesIncorrect)/float64(r.Instrs),
+			float64(r.BytesSeqWrite)/float64(r.Instrs),
+			float64(r.BytesSeqFetch)/float64(r.Instrs))
+		fmt.Printf("mem bus util:   %.1f%%\n", e.MemBusUtilization()*100)
+		return
+	}
+
+	cfg := sim.CoverageConfig{WithL2: *withL2}
+	cov, err := sim.RunCoverage(src, pf, cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ltsim:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("benchmark:    %s (%s scale, seed %d)\n", p.Name, sc, *seed)
+	fmt.Printf("predictor:    %s\n", cov.Predictor)
+	fmt.Printf("references:   %d\n", cov.Refs)
+	fmt.Printf("opportunity:  %d base misses\n", cov.Opportunity)
+	fmt.Printf("correct:      %d (%.1f%%)\n", cov.Correct, cov.CoveragePct()*100)
+	fmt.Printf("incorrect:    %d (%.1f%%)\n", cov.Incorrect, cov.IncorrectPct()*100)
+	fmt.Printf("train:        %d (%.1f%%)\n", cov.Train, cov.TrainPct()*100)
+	fmt.Printf("early:        %d (%.1f%%)\n", cov.Early, cov.EarlyPct()*100)
+	fmt.Printf("prefetches:   %d\n", cov.Prefetches)
+	if *withL2 {
+		fmt.Printf("L2 misses:    base %d -> %d (%.1f%% eliminated)\n",
+			cov.BaseL2Misses, cov.MainL2Misses, cov.L2CoveragePct()*100)
+	}
+	if lt, ok := pf.(*core.Predictor); ok {
+		st := lt.Stats()
+		fmt.Printf("lt-cords:     recorded=%d streamed=%d headActs=%d predictions=%d\n",
+			st.Recorded, st.StreamedSigs, st.HeadActivations, st.Predictions)
+		fmt.Printf("              onchip=%dKB offchip-traffic write=%dKB fetch=%dKB\n",
+			lt.OnChipBytes()/1024, (st.SeqWriteBytes+st.ConfWriteBytes)/1024, st.SeqFetchBytes/1024)
+	}
+}

@@ -1,0 +1,109 @@
+// Command lttrace generates, inspects and converts binary reference traces
+// (the LTCT format of internal/trace).
+//
+// Usage:
+//
+//	lttrace -bench mcf -scale small -out mcf.ltct   # generate
+//	lttrace -in mcf.ltct -stats                     # summarize
+//	lttrace -in mcf.ltct -head 20                   # dump first records
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "lttrace:", err)
+	os.Exit(1)
+}
+
+func main() {
+	var (
+		bench = flag.String("bench", "", "benchmark preset to generate")
+		scale = flag.String("scale", "small", "workload scale")
+		seed  = flag.Uint64("seed", 1, "workload seed")
+		out   = flag.String("out", "", "output trace file")
+		in    = flag.String("in", "", "input trace file")
+		stats = flag.Bool("stats", false, "print stream statistics")
+		head  = flag.Int("head", 0, "dump the first N records")
+	)
+	flag.Parse()
+
+	switch {
+	case *bench != "" && *out != "":
+		p, ok := workload.ByName(*bench)
+		if !ok {
+			fail(fmt.Errorf("unknown benchmark %q", *bench))
+		}
+		sc, err := workload.ParseScale(*scale)
+		if err != nil {
+			fail(err)
+		}
+		f, err := os.Create(*out)
+		if err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		w, err := trace.NewWriter(f)
+		if err != nil {
+			fail(err)
+		}
+		src := p.Source(sc, *seed)
+		for {
+			r, ok := src.Next()
+			if !ok {
+				break
+			}
+			if err := w.Write(r); err != nil {
+				fail(err)
+			}
+		}
+		if err := w.Flush(); err != nil {
+			fail(err)
+		}
+		fi, _ := f.Stat()
+		fmt.Printf("wrote %d refs to %s (%d bytes, %.2f bytes/ref)\n",
+			w.Count(), *out, fi.Size(), float64(fi.Size())/float64(w.Count()))
+
+	case *in != "":
+		f, err := os.Open(*in)
+		if err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		r, err := trace.NewReader(f)
+		if err != nil {
+			fail(err)
+		}
+		var st trace.Stats
+		n := 0
+		for {
+			ref, ok := r.Next()
+			if !ok {
+				break
+			}
+			st.Observe(ref)
+			if *head > 0 && n < *head {
+				fmt.Printf("%8d pc=%#x addr=%#x %s gap=%d dep=%v ctx=%d\n",
+					n, uint64(ref.PC), uint64(ref.Addr), ref.Kind, ref.Gap, ref.Dep, ref.Ctx)
+			}
+			n++
+		}
+		if err := r.Err(); err != nil {
+			fail(err)
+		}
+		if *stats || *head == 0 {
+			fmt.Printf("refs=%d loads=%d stores=%d instrs=%d deps=%d\n",
+				st.Refs, st.Loads, st.Stores, st.Instrs, st.Deps)
+		}
+
+	default:
+		fmt.Fprintln(os.Stderr, "lttrace: need either -bench+-out (generate) or -in (inspect)")
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,84 @@
+// Custom predictor: the sim.Prefetcher interface is three small hooks, so
+// plugging a home-grown scheme into the same harness as LT-cords takes a
+// page of code. This example implements a "next-N-blocks" sequential
+// prefetcher and races it against LT-cords on two contrasting workloads.
+//
+//	go run ./examples/custompredictor
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/mem"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// nextN prefetches the N blocks following every miss — the classic
+// sequential (one-block-lookahead generalized) prefetcher.
+type nextN struct {
+	geo mem.Geometry
+	n   int
+}
+
+// Name implements sim.Prefetcher.
+func (p *nextN) Name() string { return fmt.Sprintf("next-%d", p.n) }
+
+// OnAccess implements sim.Prefetcher: on a miss, fetch the next n blocks.
+func (p *nextN) OnAccess(ref trace.Ref, hit bool, evicted *cache.EvictInfo) []sim.Prediction {
+	if hit {
+		return nil
+	}
+	blk := p.geo.BlockAddr(ref.Addr)
+	preds := make([]sim.Prediction, p.n)
+	for i := range preds {
+		preds[i] = sim.Prediction{Addr: blk + mem.Addr((i+1)*p.geo.BlockSize())}
+	}
+	return preds
+}
+
+func main() {
+	l1 := sim.PaperL1D()
+	geo, err := mem.NewGeometry(l1.BlockSize, l1.Sets())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	workloads := map[string]func() trace.Source{
+		"sequential stream": func() trace.Source {
+			return workload.StreamOnce(workload.StreamConfig{
+				Base: 0x1000_0000, Bytes: 4 << 20, Stride: 64, Passes: 2, PCBase: 0x40,
+			})
+		},
+		"shuffled chase": func() trace.Source {
+			// A fully scrambled layout (no page clustering): sequential
+			// neighbors are unrelated, so guessing-based prefetchers have
+			// nothing to work with.
+			return workload.PointerChase(workload.ChaseConfig{
+				Base: 0x1000_0000, Nodes: 20_000, NodeSize: 64,
+				ShuffleLayout: true, Iters: 4, PCBase: 0x40, Seed: 7,
+			})
+		},
+	}
+
+	for name, mk := range workloads {
+		fmt.Printf("%s:\n", name)
+		for _, pf := range []sim.Prefetcher{
+			&nextN{geo: geo, n: 2},
+			core.MustNew(l1, core.DefaultParams()),
+		} {
+			cov, err := sim.RunCoverage(mk(), pf, sim.CoverageConfig{})
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("  %-10s coverage %5.1f%%  early %4.1f%%\n",
+				pf.Name(), cov.CoveragePct()*100, cov.EarlyPct()*100)
+		}
+	}
+	fmt.Println("\nsequential prefetching wins on streams it can guess;")
+	fmt.Println("address correlation wins where there is nothing to guess, only to remember.")
+}

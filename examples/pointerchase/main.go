@@ -1,0 +1,77 @@
+// Pointer-chase showdown: the workload class the paper's introduction
+// motivates. A linked structure with a scrambled layout is traversed
+// repeatedly; a delta-correlating prefetcher (GHB PC/DC) finds no repeating
+// stride pattern, while the address-correlating LT-cords learns the
+// arbitrary miss pairs and streams them back. The timing model then shows
+// why this matters: dependent misses serialize, so covering them
+// multiplies IPC.
+//
+//	go run ./examples/pointerchase
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/cpu"
+	"repro/internal/ghb"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func chase() trace.Source {
+	return workload.PointerChase(workload.ChaseConfig{
+		Base:          0x1000_0000,
+		Nodes:         24_000, // 1.5MB of 64-byte nodes: beyond the 1MB L2
+		NodeSize:      64,
+		ShuffleLayout: true,
+		PageLocality:  true, // allocator-style clustering: sane TLB behaviour
+		Iters:         5,
+		PCBase:        0x400000,
+		Seed:          42,
+	})
+}
+
+func coverageOf(pf sim.Prefetcher) sim.Coverage {
+	cov, err := sim.RunCoverage(chase(), pf, sim.CoverageConfig{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	return cov
+}
+
+func cyclesOf(pf sim.Prefetcher) cpu.Result {
+	e, err := cpu.NewEngine(cpu.DefaultParams(), cache.Config{}, cache.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	return e.Run(chase(), pf)
+}
+
+func main() {
+	l1 := sim.PaperL1D()
+	lt := core.MustNew(l1, core.DefaultParams())
+	gh := ghb.MustNew(l1, ghb.DefaultParams())
+
+	fmt.Println("trace-driven coverage on a shuffled pointer chase:")
+	covLT := coverageOf(lt)
+	covGHB := coverageOf(gh)
+	fmt.Printf("  lt-cords:  %.1f%% of misses eliminated\n", covLT.CoveragePct()*100)
+	fmt.Printf("  ghb pc/dc: %.1f%% of misses eliminated\n", covGHB.CoveragePct()*100)
+
+	fmt.Println("\ncycle timing (dependent loads serialize):")
+	base := cyclesOf(sim.Null{})
+	ltRes := cyclesOf(core.MustNew(l1, core.DefaultParams()))
+	ghbRes := cyclesOf(ghb.MustNew(l1, ghb.DefaultParams()))
+	speedup := func(r cpu.Result) float64 {
+		return (float64(base.Cycles)/float64(r.Cycles) - 1) * 100
+	}
+	fmt.Printf("  baseline:  %10d cycles (IPC %.3f)\n", base.Cycles, base.IPC())
+	fmt.Printf("  lt-cords:  %10d cycles (IPC %.3f, %+.0f%%)\n", ltRes.Cycles, ltRes.IPC(), speedup(ltRes))
+	fmt.Printf("  ghb pc/dc: %10d cycles (IPC %.3f, %+.0f%%)\n", ghbRes.Cycles, ghbRes.IPC(), speedup(ghbRes))
+	fmt.Println("\nthe gap is the paper's thesis: only address correlation can",
+		"\nprefetch an irregular, pointer-dependent miss stream.")
+}

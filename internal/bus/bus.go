@@ -1,0 +1,117 @@
+// Package bus models shared interconnect resources as busy-until timelines:
+// the L1/L2 bus (two channels, 32 bytes per cycle, 1-cycle request — paper
+// Table 1) and the 32-byte-wide 1333MHz memory bus feeding a DRAM with
+// 200-cycle first-chunk latency and 3 cycles per additional 32-byte chunk.
+//
+// A reservation is granted at the earliest channel-free time at or after
+// the request; occupancy and byte counts accumulate for the utilization
+// accounting of the paper's Figure 12.
+package bus
+
+import "fmt"
+
+// Line is a multi-channel bus.
+type Line struct {
+	name     string
+	nextFree []uint64
+	busy     uint64
+	bytes    uint64
+	requests uint64
+}
+
+// NewLine creates a bus with the given number of channels.
+func NewLine(name string, channels int) *Line {
+	if channels < 1 {
+		channels = 1
+	}
+	return &Line{name: name, nextFree: make([]uint64, channels)}
+}
+
+// Reserve requests the bus at time now for the given occupancy cycles and
+// payload bytes. It returns the grant time: the earliest time at or after
+// now when a channel is free. The chosen channel is busy until
+// grant+cycles.
+func (l *Line) Reserve(now uint64, cycles int, bytes int) uint64 {
+	best := 0
+	for c := 1; c < len(l.nextFree); c++ {
+		if l.nextFree[c] < l.nextFree[best] {
+			best = c
+		}
+	}
+	grant := now
+	if l.nextFree[best] > grant {
+		grant = l.nextFree[best]
+	}
+	l.nextFree[best] = grant + uint64(cycles)
+	l.busy += uint64(cycles)
+	l.bytes += uint64(bytes)
+	l.requests++
+	return grant
+}
+
+// Bytes returns the cumulative payload bytes transferred.
+func (l *Line) Bytes() uint64 { return l.bytes }
+
+// BusyCycles returns the cumulative occupancy across channels.
+func (l *Line) BusyCycles() uint64 { return l.busy }
+
+// Requests returns the number of reservations.
+func (l *Line) Requests() uint64 { return l.requests }
+
+// Utilization returns busy cycles as a fraction of elapsed*channels.
+func (l *Line) Utilization(elapsed uint64) float64 {
+	if elapsed == 0 {
+		return 0
+	}
+	return float64(l.busy) / float64(elapsed*uint64(len(l.nextFree)))
+}
+
+// String describes the line.
+func (l *Line) String() string {
+	return fmt.Sprintf("bus %s: %d req, %d bytes, %d busy cycles", l.name, l.requests, l.bytes, l.busy)
+}
+
+// DRAM models main memory behind a memory bus. Latencies follow the paper's
+// Table 1: 200 cycles for the first 32 bytes and 3 cycles for each
+// additional 32 bytes, over a 32-byte-wide bus (3 core cycles per chunk at
+// 4GHz core / 1333MHz bus).
+type DRAM struct {
+	// FirstLatency is the access latency of the first chunk, in core cycles.
+	FirstLatency int
+	// PerChunkLatency is the additional latency per subsequent chunk.
+	PerChunkLatency int
+	// ChunkBytes is the bus width (32).
+	ChunkBytes int
+	// ChunkBusCycles is the bus occupancy per chunk in core cycles (3).
+	ChunkBusCycles int
+	// Bus is the memory bus the transfers occupy.
+	Bus *Line
+}
+
+// NewDRAM builds the paper's memory system on the given bus.
+func NewDRAM(b *Line) *DRAM {
+	return &DRAM{FirstLatency: 200, PerChunkLatency: 3, ChunkBytes: 32, ChunkBusCycles: 3, Bus: b}
+}
+
+func (d *DRAM) chunks(bytes int) int {
+	n := (bytes + d.ChunkBytes - 1) / d.ChunkBytes
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// ReadBlock performs a read of the given size at time now and returns the
+// time the last byte arrives.
+func (d *DRAM) ReadBlock(now uint64, bytes int) uint64 {
+	n := d.chunks(bytes)
+	grant := d.Bus.Reserve(now, n*d.ChunkBusCycles, bytes)
+	return grant + uint64(d.FirstLatency) + uint64((n-1)*d.PerChunkLatency)
+}
+
+// WriteBlock posts a write of the given size (write-back or sequence
+// creation); only bus occupancy matters to the core.
+func (d *DRAM) WriteBlock(now uint64, bytes int) uint64 {
+	n := d.chunks(bytes)
+	return d.Bus.Reserve(now, n*d.ChunkBusCycles, bytes)
+}

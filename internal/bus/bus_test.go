@@ -1,0 +1,85 @@
+package bus
+
+import "testing"
+
+func TestReserveSerializesOneChannel(t *testing.T) {
+	l := NewLine("mem", 1)
+	g1 := l.Reserve(10, 6, 64)
+	g2 := l.Reserve(10, 6, 64)
+	g3 := l.Reserve(30, 6, 64)
+	if g1 != 10 || g2 != 16 || g3 != 30 {
+		t.Errorf("grants = %d,%d,%d want 10,16,30", g1, g2, g3)
+	}
+	if l.Bytes() != 192 || l.BusyCycles() != 18 || l.Requests() != 3 {
+		t.Errorf("accounting: %s", l)
+	}
+}
+
+func TestReserveTwoChannels(t *testing.T) {
+	l := NewLine("l1l2", 2)
+	g1 := l.Reserve(0, 10, 64)
+	g2 := l.Reserve(0, 10, 64)
+	g3 := l.Reserve(0, 10, 64)
+	if g1 != 0 || g2 != 0 {
+		t.Errorf("two channels should grant both at 0: %d,%d", g1, g2)
+	}
+	if g3 != 10 {
+		t.Errorf("third reservation = %d want 10", g3)
+	}
+}
+
+func TestUtilization(t *testing.T) {
+	l := NewLine("x", 1)
+	l.Reserve(0, 50, 0)
+	if got := l.Utilization(100); got != 0.5 {
+		t.Errorf("utilization = %v", got)
+	}
+	if l.Utilization(0) != 0 {
+		t.Error("zero elapsed must be 0")
+	}
+	two := NewLine("y", 2)
+	two.Reserve(0, 100, 0)
+	if got := two.Utilization(100); got != 0.5 {
+		t.Errorf("2-channel utilization = %v", got)
+	}
+}
+
+func TestDRAMReadLatency(t *testing.T) {
+	d := NewDRAM(NewLine("mem", 1))
+	// 64B = 2 chunks: 200 + 3 cycles after the grant.
+	done := d.ReadBlock(1000, 64)
+	if done != 1000+200+3 {
+		t.Errorf("64B read done at %d want 1203", done)
+	}
+	// Bus was busy 6 cycles; a second read is granted at 1006.
+	done2 := d.ReadBlock(1000, 32)
+	if done2 != 1006+200 {
+		t.Errorf("32B read after busy bus done at %d want 1206", done2)
+	}
+}
+
+func TestDRAMWriteOccupiesOnly(t *testing.T) {
+	b := NewLine("mem", 1)
+	d := NewDRAM(b)
+	g := d.WriteBlock(50, 64)
+	if g != 50 {
+		t.Errorf("write grant = %d", g)
+	}
+	if b.BusyCycles() != 6 || b.Bytes() != 64 {
+		t.Errorf("write accounting: %s", b)
+	}
+}
+
+func TestDRAMTinyRead(t *testing.T) {
+	d := NewDRAM(NewLine("mem", 1))
+	if done := d.ReadBlock(0, 5); done != 200 {
+		t.Errorf("5B read rounds to one chunk: done=%d want 200", done)
+	}
+}
+
+func TestNewLineClampsChannels(t *testing.T) {
+	l := NewLine("z", 0)
+	if l.Reserve(0, 1, 0) != 0 {
+		t.Error("clamped single channel should grant at 0")
+	}
+}

@@ -1,0 +1,393 @@
+// Package cache models set-associative caches with pluggable replacement,
+// write-back/write-allocate semantics, and the hooks the predictors need:
+// detailed eviction information (who was evicted, how dirty, how long dead)
+// and prefetch insertion with an explicit victim, which is how LT-cords and
+// DBCP place a prefetched block over the block they predict dead.
+package cache
+
+import (
+	"fmt"
+
+	"repro/internal/mem"
+)
+
+// PolicyKind selects the replacement policy.
+type PolicyKind uint8
+
+const (
+	// LRU evicts the least recently used way.
+	LRU PolicyKind = iota
+	// FIFO evicts the earliest filled way.
+	FIFO
+	// Random evicts a pseudo-randomly chosen way (deterministic xorshift).
+	Random
+)
+
+// String names the policy.
+func (p PolicyKind) String() string {
+	switch p {
+	case LRU:
+		return "lru"
+	case FIFO:
+		return "fifo"
+	case Random:
+		return "random"
+	}
+	return fmt.Sprintf("policy(%d)", uint8(p))
+}
+
+// Config describes one cache level. The defaults in the experiment harness
+// follow the paper's Table 1 (L1D: 64KB, 64-byte lines, 2-way, 2-cycle;
+// L2: 1MB, 8-way, 20-cycle).
+type Config struct {
+	// Name labels the cache in stats output (e.g. "L1D").
+	Name string
+	// Size is the capacity in bytes.
+	Size int
+	// BlockSize is the line size in bytes.
+	BlockSize int
+	// Assoc is the associativity (ways per set).
+	Assoc int
+	// Policy is the replacement policy (default LRU).
+	Policy PolicyKind
+	// HitLatency is the access latency in cycles, used by the timing model.
+	HitLatency int
+}
+
+// Sets returns the number of sets implied by the configuration.
+func (c Config) Sets() int { return c.Size / (c.BlockSize * c.Assoc) }
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.Size <= 0 || c.BlockSize <= 0 || c.Assoc <= 0 {
+		return fmt.Errorf("cache %q: size, block size and associativity must be positive", c.Name)
+	}
+	if c.Size%(c.BlockSize*c.Assoc) != 0 {
+		return fmt.Errorf("cache %q: size %d not divisible by block*assoc", c.Name, c.Size)
+	}
+	if _, ok := mem.Log2(c.BlockSize); !ok {
+		return fmt.Errorf("cache %q: block size %d not a power of two", c.Name, c.BlockSize)
+	}
+	if _, ok := mem.Log2(c.Sets()); !ok {
+		return fmt.Errorf("cache %q: set count %d not a power of two", c.Name, c.Sets())
+	}
+	return nil
+}
+
+type line struct {
+	tag        mem.Addr
+	valid      bool
+	dirty      bool
+	prefetched bool   // filled by prefetch and not yet demand-touched
+	stamp      uint64 // internal monotonic counter: LRU order
+	fillStamp  uint64 // internal monotonic counter at fill: FIFO order
+	lastTouch  uint64 // external clock at last demand touch: dead time
+}
+
+// EvictInfo describes a line that left the cache.
+type EvictInfo struct {
+	// Valid reports whether an eviction actually happened (a valid line was
+	// displaced). A fill into an invalid way produces Valid == false.
+	Valid bool
+	// Addr is the block-aligned address of the evicted line.
+	Addr mem.Addr
+	// Dirty reports whether the line held modified data (write-back needed).
+	Dirty bool
+	// Prefetched reports that the line was prefetched and never demand
+	// touched — a useless prefetch.
+	Prefetched bool
+	// DeadTime is the externally supplied clock delta between the line's
+	// last demand touch and its eviction (the paper's Figure 2 metric).
+	DeadTime uint64
+	// LastTouch is the external clock of the line's last demand touch.
+	LastTouch uint64
+}
+
+// AccessResult describes one demand access.
+type AccessResult struct {
+	// Hit reports whether the block was present.
+	Hit bool
+	// PrefetchHit reports a hit whose line was brought in by a prefetch and
+	// is being demand-touched for the first time (a useful prefetch).
+	PrefetchHit bool
+	// Evicted is the line displaced by the fill on a miss.
+	Evicted EvictInfo
+}
+
+// Stats counts cache events.
+type Stats struct {
+	Accesses        uint64
+	Hits            uint64
+	Misses          uint64
+	ReadMisses      uint64
+	WriteMisses     uint64
+	Evictions       uint64
+	DirtyEvictions  uint64
+	PrefetchInserts uint64 // prefetch fills performed
+	PrefetchDupes   uint64 // prefetches dropped because the block was present
+	PrefetchHits    uint64 // prefetched lines that saw a demand touch
+	PrefetchUnused  uint64 // prefetched lines evicted untouched
+}
+
+// MissRate returns misses per access, or 0 with no accesses.
+func (s Stats) MissRate() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(s.Accesses)
+}
+
+// Cache is a set-associative cache. It is not safe for concurrent use; the
+// simulators are single-goroutine by design (determinism).
+type Cache struct {
+	cfg   Config
+	geo   mem.Geometry
+	lines []line
+	clock uint64 // internal stamp counter
+	rng   uint64 // xorshift state for Random policy
+	stats Stats
+}
+
+// New builds a cache from cfg.
+func New(cfg Config) (*Cache, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Policy > Random {
+		return nil, fmt.Errorf("cache %q: unknown policy %d", cfg.Name, cfg.Policy)
+	}
+	geo, err := mem.NewGeometry(cfg.BlockSize, cfg.Sets())
+	if err != nil {
+		return nil, err
+	}
+	return &Cache{
+		cfg:   cfg,
+		geo:   geo,
+		lines: make([]line, cfg.Sets()*cfg.Assoc),
+		rng:   0x9E3779B97F4A7C15,
+	}, nil
+}
+
+// MustNew is New that panics on error, for tests and constant configs.
+func MustNew(cfg Config) *Cache {
+	c, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Config returns the cache configuration.
+func (c *Cache) Config() Config { return c.cfg }
+
+// Geometry returns the block/set geometry, which predictors share to build
+// per-set history state.
+func (c *Cache) Geometry() mem.Geometry { return c.geo }
+
+// Stats returns a copy of the event counters.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// setSlice returns the ways of set idx.
+func (c *Cache) setSlice(idx int) []line {
+	base := idx * c.cfg.Assoc
+	return c.lines[base : base+c.cfg.Assoc]
+}
+
+// lookup finds the way holding tag in set, or -1.
+func lookup(set []line, tag mem.Addr) int {
+	for w := range set {
+		if set[w].valid && set[w].tag == tag {
+			return w
+		}
+	}
+	return -1
+}
+
+func (c *Cache) nextRand() uint64 {
+	x := c.rng
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	c.rng = x
+	return x
+}
+
+// victimWay picks the way to replace in set according to the policy.
+// Invalid ways win outright.
+func (c *Cache) victimWay(set []line) int {
+	for w := range set {
+		if !set[w].valid {
+			return w
+		}
+	}
+	switch c.cfg.Policy {
+	case Random:
+		return int(c.nextRand() % uint64(len(set)))
+	case FIFO:
+		best, bestStamp := 0, set[0].fillStamp
+		for w := 1; w < len(set); w++ {
+			if set[w].fillStamp < bestStamp {
+				best, bestStamp = w, set[w].fillStamp
+			}
+		}
+		return best
+	default: // LRU
+		best, bestStamp := 0, set[0].stamp
+		for w := 1; w < len(set); w++ {
+			if set[w].stamp < bestStamp {
+				best, bestStamp = w, set[w].stamp
+			}
+		}
+		return best
+	}
+}
+
+// evict captures EvictInfo for the line in way w of set idx at external
+// clock now, and invalidates it.
+func (c *Cache) evict(set []line, w int, idx int, now uint64) EvictInfo {
+	ln := &set[w]
+	if !ln.valid {
+		return EvictInfo{}
+	}
+	info := EvictInfo{
+		Valid:      true,
+		Addr:       c.geo.Rebuild(ln.tag, idx),
+		Dirty:      ln.dirty,
+		Prefetched: ln.prefetched,
+		LastTouch:  ln.lastTouch,
+	}
+	if now >= ln.lastTouch {
+		info.DeadTime = now - ln.lastTouch
+	}
+	c.stats.Evictions++
+	if ln.dirty {
+		c.stats.DirtyEvictions++
+	}
+	if ln.prefetched {
+		c.stats.PrefetchUnused++
+	}
+	ln.valid = false
+	return info
+}
+
+// Access performs a demand access to address a at external clock now.
+// On a miss the block is filled (write-allocate) and the displaced line, if
+// any, is reported in the result. Stores mark the line dirty (write-back).
+func (c *Cache) Access(a mem.Addr, write bool, now uint64) AccessResult {
+	c.stats.Accesses++
+	c.clock++
+	idx := c.geo.Index(a)
+	tag := c.geo.Tag(a)
+	set := c.setSlice(idx)
+	if w := lookup(set, tag); w >= 0 {
+		ln := &set[w]
+		c.stats.Hits++
+		res := AccessResult{Hit: true}
+		if ln.prefetched {
+			ln.prefetched = false
+			c.stats.PrefetchHits++
+			res.PrefetchHit = true
+		}
+		ln.stamp = c.clock
+		ln.lastTouch = now
+		if write {
+			ln.dirty = true
+		}
+		return res
+	}
+	c.stats.Misses++
+	if write {
+		c.stats.WriteMisses++
+	} else {
+		c.stats.ReadMisses++
+	}
+	w := c.victimWay(set)
+	info := c.evict(set, w, idx, now)
+	set[w] = line{
+		tag:       tag,
+		valid:     true,
+		dirty:     write,
+		stamp:     c.clock,
+		fillStamp: c.clock,
+		lastTouch: now,
+	}
+	return AccessResult{Hit: false, Evicted: info}
+}
+
+// InsertPrefetch fills block a without a demand access. If useVictim is
+// true, the line currently holding block victim (in a's set) is replaced —
+// this is LT-cords/DBCP dead-block replacement; if that block is absent the
+// policy victim is used instead. The displaced line is returned. If block a
+// is already present the insert is a no-op and ok is false.
+func (c *Cache) InsertPrefetch(a mem.Addr, victim mem.Addr, useVictim bool, now uint64) (EvictInfo, bool) {
+	idx := c.geo.Index(a)
+	tag := c.geo.Tag(a)
+	set := c.setSlice(idx)
+	if lookup(set, tag) >= 0 {
+		c.stats.PrefetchDupes++
+		return EvictInfo{}, false
+	}
+	c.clock++
+	w := -1
+	if useVictim && c.geo.Index(victim) == idx {
+		w = lookup(set, c.geo.Tag(victim))
+	}
+	if w < 0 {
+		w = c.victimWay(set)
+	}
+	info := c.evict(set, w, idx, now)
+	set[w] = line{
+		tag:        tag,
+		valid:      true,
+		prefetched: true,
+		stamp:      c.clock,
+		fillStamp:  c.clock,
+		lastTouch:  now, // a prefetched line's "touch" clock starts at fill
+	}
+	c.stats.PrefetchInserts++
+	return info, true
+}
+
+// Probe reports whether block a is present, without changing any state.
+func (c *Cache) Probe(a mem.Addr) bool {
+	set := c.setSlice(c.geo.Index(a))
+	return lookup(set, c.geo.Tag(a)) >= 0
+}
+
+// ProbePrefetched reports whether block a is present and still marked as an
+// untouched prefetch.
+func (c *Cache) ProbePrefetched(a mem.Addr) bool {
+	set := c.setSlice(c.geo.Index(a))
+	w := lookup(set, c.geo.Tag(a))
+	return w >= 0 && set[w].prefetched
+}
+
+// Invalidate removes block a if present and returns its eviction record.
+func (c *Cache) Invalidate(a mem.Addr, now uint64) (EvictInfo, bool) {
+	idx := c.geo.Index(a)
+	set := c.setSlice(idx)
+	w := lookup(set, c.geo.Tag(a))
+	if w < 0 {
+		return EvictInfo{}, false
+	}
+	return c.evict(set, w, idx, now), true
+}
+
+// Flush invalidates every line and leaves statistics intact.
+func (c *Cache) Flush() {
+	for i := range c.lines {
+		c.lines[i] = line{}
+	}
+}
+
+// ValidLines counts the currently valid lines (used by tests and the
+// capacity invariants).
+func (c *Cache) ValidLines() int {
+	n := 0
+	for i := range c.lines {
+		if c.lines[i].valid {
+			n++
+		}
+	}
+	return n
+}

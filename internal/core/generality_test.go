@@ -1,0 +1,50 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/mem"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// The predictor must not be hard-wired to the paper's 2-way L1D: the
+// per-line history mirror follows whatever geometry the cache has. Run the
+// same workload against several L1 organizations and require comparable
+// coverage on each.
+func TestLTCordsAcrossL1Geometries(t *testing.T) {
+	configs := []cache.Config{
+		{Name: "L1-2way", Size: 64 * mem.KiB, BlockSize: 64, Assoc: 2, HitLatency: 2},
+		{Name: "L1-4way", Size: 64 * mem.KiB, BlockSize: 64, Assoc: 4, HitLatency: 2},
+		{Name: "L1-8way", Size: 64 * mem.KiB, BlockSize: 64, Assoc: 8, HitLatency: 3},
+		{Name: "L1-dm", Size: 64 * mem.KiB, BlockSize: 64, Assoc: 1, HitLatency: 1},
+		{Name: "L1-32KB", Size: 32 * mem.KiB, BlockSize: 64, Assoc: 2, HitLatency: 2},
+		{Name: "L1-128B", Size: 64 * mem.KiB, BlockSize: 128, Assoc: 2, HitLatency: 2},
+	}
+	for _, cfg := range configs {
+		src := workload.ArraySweep(workload.SweepConfig{
+			Base: 0x100000, Arrays: 2, Elems: 16384, Stride: 64, Iters: 5, PCBase: 0x10,
+		})
+		pr := MustNew(cfg, DefaultParams())
+		cov, err := sim.RunCoverage(src, pr, sim.CoverageConfig{L1: cfg})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("%-8s coverage=%.1f%% early=%.1f%% (opp=%d)", cfg.Name,
+			cov.CoveragePct()*100, cov.EarlyPct()*100, cov.Opportunity)
+		if cov.CoveragePct() < 0.55 {
+			t.Errorf("%s: coverage %.2f too low — predictor tied to a specific geometry?", cfg.Name, cov.CoveragePct())
+		}
+		if cov.EarlyPct() > 0.1 {
+			t.Errorf("%s: early rate %.2f", cfg.Name, cov.EarlyPct())
+		}
+	}
+}
+
+// The predictor rejects a cache config whose geometry is invalid.
+func TestNewRejectsBadL1(t *testing.T) {
+	if _, err := New(cache.Config{Size: 100, BlockSize: 64, Assoc: 2}, DefaultParams()); err == nil {
+		t.Error("invalid L1 config must be rejected")
+	}
+}

@@ -1,0 +1,164 @@
+// Package core implements Last-Touch Correlated Data Streaming (LT-cords),
+// the paper's contribution: an address-correlating last-touch prefetcher
+// whose correlation data lives off chip, recorded in eviction order, and is
+// streamed into a small on-chip signature cache shortly before use.
+//
+// Hardware structures modeled (paper Figure 5):
+//
+//   - history table (internal/history): per-L1D-set PC-trace hash and the
+//     last two evicted tags; builds last-touch signatures.
+//   - signature cache: a small set-associative table of signatures with
+//     FIFO replacement, prediction address, 2-bit confidence and a pointer
+//     to the signature's off-chip location.
+//   - sequence tag array: per-frame head-signature tag and sliding-window
+//     position.
+//   - off-chip sequence storage: main-memory frames, each holding one
+//     fragment (a fixed-length run of consecutive last-touch signatures),
+//     direct-mapped by the low bits of the fragment's head signature.
+//
+// The predictor observes the committed L1D access stream via the
+// sim.Prefetcher interface; all off-chip traffic (sequence creation,
+// sequence fetch, confidence write-backs) is accounted in Stats so the
+// timing model can charge it to the memory bus.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/mem"
+)
+
+// Params configures LT-cords. The defaults reproduce the paper's Section 5.6
+// cycle-accurate configuration: a 32K-entry 2-way signature cache (~204KB),
+// a 4K-frame sequence tag array (~10KB), and 4K×8K = 32M signatures of
+// off-chip sequence storage (~160MB at 5 bytes per signature).
+type Params struct {
+	// SigCacheEntries is the total number of on-chip signature cache
+	// entries (power of two).
+	SigCacheEntries int
+	// SigCacheAssoc is the signature cache associativity.
+	SigCacheAssoc int
+	// Frames is the number of off-chip sequence frames (power of two).
+	Frames int
+	// FragmentSigs is the number of signatures per fragment/frame.
+	FragmentSigs int
+	// TransferUnit is the number of signatures moved per off-chip transfer,
+	// for both sequence creation (write combining) and window advancement.
+	TransferUnit int
+	// HeadLookahead is how many signatures before a fragment's start its
+	// head signature lies; it must cover off-chip retrieval latency
+	// ("the head signature must precede the fragment by several hundred
+	// signatures", Section 4.2).
+	HeadLookahead int
+	// WindowAhead is how far past the most recently consumed signature the
+	// sliding window streams (it must cover reordering tolerance plus
+	// retrieval lookahead; Section 5.4 sizes it around 1K signatures).
+	WindowAhead int
+	// ConfInit is the initial confidence of a newly recorded signature
+	// (the paper initializes to 2 "to expedite training").
+	ConfInit uint8
+	// ConfMax is the saturation value of the 2-bit counter.
+	ConfMax uint8
+	// ConfThresh is the minimum confidence for issuing a prefetch.
+	ConfThresh uint8
+	// SigBytes is the off-chip footprint of one signature in bytes
+	// (5 in the paper: 23-bit trace hash + 2-bit confidence + 15-bit
+	// prediction tag), used for traffic accounting.
+	SigBytes int
+	// SigBits truncates signatures to this many bits (0 or >=32 keeps the
+	// full 32). The paper's trace-driven studies use 32-bit signatures "to
+	// minimize the effects of hash collisions"; the cycle-accurate
+	// configuration narrows the history trace to 23 bits (Section 5.6).
+	SigBits uint
+	// TargetL2 redirects predictions into the L2 instead of dead-block
+	// placement in the L1D. This is an ablation, not the paper's design:
+	// it deliberately gives up the two L1-placement advantages the paper
+	// claims (no L1 pollution risk is kept, but dependent chains of L1
+	// misses that hit in L2 are no longer collapsed).
+	TargetL2 bool
+}
+
+// DefaultParams returns the paper's Section 5.6 configuration.
+func DefaultParams() Params {
+	return Params{
+		SigCacheEntries: 32768,
+		SigCacheAssoc:   2,
+		Frames:          4096,
+		FragmentSigs:    8192,
+		TransferUnit:    32,
+		HeadLookahead:   256,
+		WindowAhead:     1024,
+		ConfInit:        2,
+		ConfMax:         3,
+		ConfThresh:      2,
+		SigBytes:        5,
+	}
+}
+
+// Validate reports parameter errors.
+func (p Params) Validate() error {
+	if _, ok := mem.Log2(p.SigCacheEntries); !ok {
+		return fmt.Errorf("core: SigCacheEntries %d not a power of two", p.SigCacheEntries)
+	}
+	if p.SigCacheAssoc < 1 || p.SigCacheEntries%p.SigCacheAssoc != 0 {
+		return fmt.Errorf("core: bad signature cache associativity %d", p.SigCacheAssoc)
+	}
+	if _, ok := mem.Log2(p.SigCacheEntries / p.SigCacheAssoc); !ok {
+		return fmt.Errorf("core: signature cache sets %d not a power of two", p.SigCacheEntries/p.SigCacheAssoc)
+	}
+	if _, ok := mem.Log2(p.Frames); !ok {
+		return fmt.Errorf("core: Frames %d not a power of two", p.Frames)
+	}
+	if p.FragmentSigs < 2 {
+		return fmt.Errorf("core: FragmentSigs %d too small", p.FragmentSigs)
+	}
+	if p.TransferUnit < 1 || p.TransferUnit > p.FragmentSigs {
+		return fmt.Errorf("core: TransferUnit %d out of range", p.TransferUnit)
+	}
+	if p.HeadLookahead < 1 {
+		return fmt.Errorf("core: HeadLookahead %d must be positive", p.HeadLookahead)
+	}
+	if p.WindowAhead < p.TransferUnit {
+		return fmt.Errorf("core: WindowAhead %d smaller than one transfer unit", p.WindowAhead)
+	}
+	if p.ConfThresh > p.ConfMax || p.ConfInit > p.ConfMax {
+		return fmt.Errorf("core: confidence values inconsistent")
+	}
+	if p.SigBytes < 1 {
+		return fmt.Errorf("core: SigBytes %d must be positive", p.SigBytes)
+	}
+	if p.SigBits != 0 && p.SigBits < 8 {
+		return fmt.Errorf("core: SigBits %d too narrow (minimum 8)", p.SigBits)
+	}
+	return nil
+}
+
+// OnChipBits returns the on-chip storage of the signature cache and the
+// sequence tag array in bits, following the paper's entry layouts: 42 bits
+// per signature cache entry (15-bit prediction tag, 2-bit confidence,
+// 25-bit off-chip pointer) and per-frame head tag plus window position in
+// the sequence tag array.
+func (p Params) OnChipBits() (sigCacheBits, seqTagBits int) {
+	sigCacheBits = p.SigCacheEntries * 42
+	winBits, _ := mem.Log2(p.FragmentSigs)
+	// Head tag: signature bits not implied by the frame index.
+	frameBits, _ := mem.Log2(p.Frames)
+	headTag := 32 - int(frameBits)
+	if headTag < 0 {
+		headTag = 0
+	}
+	seqTagBits = p.Frames * (headTag + int(winBits) + 1)
+	return sigCacheBits, seqTagBits
+}
+
+// OnChipBytes returns the total on-chip budget in bytes (paper: ~214KB).
+func (p Params) OnChipBytes() int {
+	a, b := p.OnChipBits()
+	return (a + b + 7) / 8
+}
+
+// OffChipBytes returns the off-chip sequence storage capacity in bytes
+// (paper: 160MB).
+func (p Params) OffChipBytes() int {
+	return p.Frames * p.FragmentSigs * p.SigBytes
+}

@@ -1,0 +1,437 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/history"
+	"repro/internal/mem"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// Stats counts LT-cords events and off-chip traffic.
+type Stats struct {
+	// Recorded is the number of signatures written to sequence storage.
+	Recorded uint64
+	// FragmentsOpened counts fragment boundaries crossed while recording.
+	FragmentsOpened uint64
+	// FramesTakenOver counts frames whose previous fragment belonged to a
+	// different head signature (direct-mapped conflict).
+	FramesTakenOver uint64
+	// HeadActivations counts head-signature matches that (re)started
+	// streaming a fragment.
+	HeadActivations uint64
+	// SigCacheHits counts on-chip signature matches.
+	SigCacheHits uint64
+	// Predictions counts issued last-touch prefetches.
+	Predictions uint64
+	// StreamedSigs counts signatures fetched from off-chip storage.
+	StreamedSigs uint64
+	// ConfUpdates counts confidence write-backs to off-chip storage.
+	ConfUpdates uint64
+	// Off-chip traffic in bytes, by Figure 12 category.
+	SeqWriteBytes  uint64 // "sequence creation"
+	SeqFetchBytes  uint64 // "sequence fetch"
+	ConfWriteBytes uint64 // part of "sequence creation" in the paper
+}
+
+// frame is one off-chip sequence frame holding a fragment. Recording
+// overwrites a frame in place, slot by slot, exactly as DRAM writes would:
+// when the same sequence recurs, the rewritten content is identical and
+// concurrent streaming reads stay coherent; when a different sequence takes
+// the frame over (head mismatch), the frame is truncated, modeling the
+// sequence tag array invalidating the old fragment.
+type frame struct {
+	sigs      []storedSig
+	writePos  int
+	head      history.Signature
+	headValid bool
+	// lastActive is the predictor's record count when this frame last
+	// streamed or served a hit; it rate-limits head reactivation.
+	lastActive uint64
+}
+
+// storedSig is one off-chip signature record: the signature, the predicted
+// replacement block, and its confidence counter.
+type storedSig struct {
+	repl mem.Addr
+	sig  history.Signature
+	conf uint8
+}
+
+type predLoc struct {
+	frame int32
+	off   int32
+}
+
+// Predictor is the LT-cords prefetcher. It implements sim.Prefetcher,
+// sim.EarlyEvictionObserver and sim.PrefetchFillObserver. Not safe for
+// concurrent use.
+type Predictor struct {
+	p    Params
+	geo  mem.Geometry
+	hist *history.Table
+	sc   *sigCache
+
+	frames    []frame
+	frameMask int32
+	window    []int32 // per-frame sliding window position (next offset to stream)
+
+	recFrame int32
+	started  bool
+	ring     []history.Signature // last HeadLookahead recorded signatures
+	ringN    uint64
+	writeBuf int
+
+	lastPred map[mem.Addr]predLoc // victim block -> predicting signature location
+
+	stats Stats
+}
+
+var _ sim.Prefetcher = (*Predictor)(nil)
+var _ sim.EarlyEvictionObserver = (*Predictor)(nil)
+var _ sim.PrefetchFillObserver = (*Predictor)(nil)
+
+// New builds an LT-cords predictor attached to an L1D with the given
+// configuration (the history table mirrors the L1D tag array).
+func New(l1 cache.Config, p Params) (*Predictor, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if err := l1.Validate(); err != nil {
+		return nil, err
+	}
+	geo, err := mem.NewGeometry(l1.BlockSize, l1.Sets())
+	if err != nil {
+		return nil, err
+	}
+	return &Predictor{
+		p:         p,
+		geo:       geo,
+		hist:      history.New(l1.Sets(), l1.Assoc),
+		sc:        newSigCache(p.SigCacheEntries, p.SigCacheAssoc),
+		frames:    make([]frame, p.Frames),
+		frameMask: int32(p.Frames - 1),
+		window:    make([]int32, p.Frames),
+		ring:      make([]history.Signature, p.HeadLookahead),
+		lastPred:  make(map[mem.Addr]predLoc, 1024),
+	}, nil
+}
+
+// MustNew is New that panics on error.
+func MustNew(l1 cache.Config, p Params) *Predictor {
+	pr, err := New(l1, p)
+	if err != nil {
+		panic(err)
+	}
+	return pr
+}
+
+// Name implements sim.Prefetcher.
+func (pr *Predictor) Name() string { return "lt-cords" }
+
+// Params returns the configuration.
+func (pr *Predictor) Params() Params { return pr.p }
+
+// Stats returns a copy of the event counters.
+func (pr *Predictor) Stats() Stats { return pr.stats }
+
+// OnAccess implements sim.Prefetcher: it records signatures at evictions,
+// looks the current signature up on chip, issues last-touch prefetches, and
+// advances sliding windows / activates fragments.
+func (pr *Predictor) OnAccess(ref trace.Ref, hit bool, evicted *cache.EvictInfo) []sim.Prediction {
+	set := pr.geo.Index(ref.Addr)
+	curTag := pr.geo.Tag(ref.Addr)
+	curBlock := pr.geo.BlockAddr(ref.Addr)
+
+	var evTag mem.Addr
+	hasEv := false
+	if evicted != nil && evicted.Valid {
+		evTag = pr.geo.Tag(evicted.Addr)
+		hasEv = true
+	}
+	// A demand miss displaced a block: its last-touch signature is recorded
+	// with the missing block as the replacement address (Section 4.1).
+	evictSig, evictOK, cur := pr.hist.Access(set, curTag, ref.PC, evTag, hasEv)
+	evictSig = evictSig.Truncate(pr.sigBits())
+	cur = cur.Truncate(pr.sigBits())
+	if evictOK {
+		pr.verifyAndRecord(evictSig, curBlock)
+	}
+
+	var preds []sim.Prediction
+	if e := pr.sc.lookup(cur); e != nil {
+		pr.stats.SigCacheHits++
+		// Consume: advance this fragment's sliding window.
+		pr.stream(e.frame, int(e.off)+pr.p.WindowAhead)
+		if e.conf >= pr.p.ConfThresh && e.repl != curBlock {
+			// This access is predicted to be the last touch of curBlock;
+			// fetch the replacement directly over it. The fill itself is
+			// reported back via OnPrefetchFill, which closes curBlock's
+			// episode and records its signature.
+			if pr.p.TargetL2 {
+				preds = append(preds, sim.Prediction{Addr: e.repl, ToL2: true})
+			} else {
+				preds = append(preds, sim.Prediction{Addr: e.repl, Victim: curBlock, UseVictim: true})
+			}
+			pr.stats.Predictions++
+			pr.notePrediction(curBlock, predLoc{e.frame, e.off})
+		}
+	}
+
+	pr.checkHead(cur)
+	return preds
+}
+
+// OnPrefetchFill implements sim.PrefetchFillObserver: a prefetched block
+// arrived, displacing the predicted-dead block. The displaced block's
+// episode ends here — exactly as a demand miss would have ended it — so its
+// signature is verified and re-recorded, keeping the off-chip sequence
+// alive even when coverage eliminates the demand misses.
+func (pr *Predictor) OnPrefetchFill(block mem.Addr, evicted *cache.EvictInfo) {
+	set := pr.geo.Index(block)
+	tag := pr.geo.Tag(block)
+	var vTag mem.Addr
+	hasV := false
+	if evicted != nil && evicted.Valid {
+		vTag = pr.geo.Tag(evicted.Addr)
+		hasV = true
+	}
+	sig, ok := pr.hist.PrefetchFill(set, tag, vTag, hasV)
+	if ok {
+		pr.carryAndRecord(sig.Truncate(pr.sigBits()), block)
+	}
+}
+
+// sigBits returns the configured signature width (32 when unset).
+func (pr *Predictor) sigBits() uint {
+	if pr.p.SigBits == 0 {
+		return 32
+	}
+	return pr.p.SigBits
+}
+
+// carryAndRecord re-records a signature whose episode was closed by the
+// predictor's own prefetch, carrying its confidence unchanged. The covered
+// path must NOT verify: the "observed replacement" is the prefetched block
+// itself, so matching it would be circular — a stale signature would keep
+// boosting its own confidence while evicting live blocks. Only demand
+// evidence (verifyAndRecord) moves the counter up.
+func (pr *Predictor) carryAndRecord(sig history.Signature, repl mem.Addr) {
+	conf := pr.p.ConfInit
+	if e := pr.sc.lookup(sig); e != nil {
+		conf = e.conf
+	}
+	pr.record(sig, repl, conf)
+}
+
+// OnEarlyEviction implements sim.EarlyEvictionObserver: the block missed
+// although the base system would have hit, i.e. a prediction evicted it
+// prematurely. Lower the predicting signature's confidence (direct off-chip
+// update through the stored pointer, Section 4.4).
+func (pr *Predictor) OnEarlyEviction(block mem.Addr) {
+	loc, ok := pr.lastPred[block]
+	if !ok {
+		return
+	}
+	delete(pr.lastPred, block)
+	fr := &pr.frames[loc.frame]
+	if int(loc.off) >= len(fr.sigs) {
+		return
+	}
+	s := &fr.sigs[loc.off]
+	// A premature eviction manufactured a miss the base system would not
+	// have had — the worst failure mode — so the counter resets outright;
+	// the signature must re-prove itself through demand verification.
+	s.conf = 0
+	pr.stats.ConfUpdates++
+	pr.stats.ConfWriteBytes++
+	if e := pr.sc.lookup(s.sig); e != nil {
+		e.conf = 0
+	}
+}
+
+func (pr *Predictor) notePrediction(victim mem.Addr, loc predLoc) {
+	if len(pr.lastPred) > 1<<16 {
+		// Bound the bookkeeping map; stale entries only cost missed
+		// confidence decrements.
+		pr.lastPred = make(map[mem.Addr]predLoc, 1024)
+	}
+	pr.lastPred[victim] = loc
+}
+
+// verifyAndRecord updates confidence of the on-chip copy of sig against the
+// observed replacement, then appends the new observation to the sequence.
+// The new record inherits the verified counter — including a decremented
+// one on mismatch. Inheriting the low confidence is what gives the 2-bit
+// scheme its hysteresis here: a signature whose replacement changed must
+// prove the new mapping for an iteration before it may prefetch again;
+// re-recording at full initial confidence would let stale signatures evict
+// live blocks forever (the paper's Section 4.4 counters exist precisely
+// "to avoid premature eviction of L1D cache blocks by signatures that
+// become invalid").
+func (pr *Predictor) verifyAndRecord(sig history.Signature, repl mem.Addr) {
+	conf := pr.p.ConfInit
+	if e := pr.sc.lookup(sig); e != nil {
+		if e.repl == repl {
+			if e.conf < pr.p.ConfMax {
+				e.conf++
+			}
+		} else if e.conf > 0 {
+			e.conf--
+		}
+		conf = e.conf
+		// Write the counter through to the off-chip copy.
+		fr := &pr.frames[e.frame]
+		if int(e.off) < len(fr.sigs) && fr.sigs[e.off].sig == e.sig {
+			fr.sigs[e.off].conf = e.conf
+			pr.stats.ConfUpdates++
+			pr.stats.ConfWriteBytes++
+		}
+	}
+	pr.record(sig, repl, conf)
+}
+
+// record appends one signature to the current recording fragment,
+// write-combining off-chip transfers in TransferUnit units.
+func (pr *Predictor) record(sig history.Signature, repl mem.Addr, conf uint8) {
+	if !pr.started {
+		// The very first signature becomes the head of the initial frame so
+		// the sequence start can be re-activated later.
+		pr.started = true
+		pr.recFrame = int32(uint32(sig)) & pr.frameMask
+		fr := &pr.frames[pr.recFrame]
+		fr.head = sig
+		fr.headValid = true
+	}
+	fr := &pr.frames[pr.recFrame]
+	if fr.sigs == nil {
+		fr.sigs = make([]storedSig, 0, pr.p.FragmentSigs)
+	}
+	s := storedSig{repl: repl, sig: sig, conf: conf}
+	if fr.writePos < len(fr.sigs) {
+		fr.sigs[fr.writePos] = s
+	} else {
+		fr.sigs = append(fr.sigs, s)
+	}
+	fr.writePos++
+	pr.stats.Recorded++
+	pr.ring[pr.ringN%uint64(len(pr.ring))] = sig
+	pr.ringN++
+	pr.writeBuf++
+	if pr.writeBuf >= pr.p.TransferUnit {
+		pr.stats.SeqWriteBytes += uint64(pr.writeBuf * pr.p.SigBytes)
+		pr.writeBuf = 0
+	}
+	if fr.writePos >= pr.p.FragmentSigs {
+		pr.openFragment()
+	}
+}
+
+// openFragment starts the next recording fragment in the frame selected by
+// the head signature (the signature recorded HeadLookahead ago).
+func (pr *Predictor) openFragment() {
+	pr.stats.FragmentsOpened++
+	idx := uint64(0)
+	if pr.ringN >= uint64(pr.p.HeadLookahead) {
+		idx = pr.ringN - uint64(pr.p.HeadLookahead)
+	}
+	head := pr.ring[idx%uint64(len(pr.ring))]
+	f := int32(uint32(head)) & pr.frameMask
+	fr := &pr.frames[f]
+	if fr.headValid && fr.head != head {
+		// Direct-mapped conflict: a different sequence owned this frame.
+		// The sequence tag array invalidates the old fragment.
+		pr.stats.FramesTakenOver++
+		fr.sigs = fr.sigs[:0]
+	}
+	fr.head = head
+	fr.headValid = true
+	fr.writePos = 0
+	pr.window[f] = 0
+	pr.recFrame = f
+}
+
+// stream advances frame f's sliding window to at least upTo (bounded by the
+// fragment length), moving TransferUnit-sized groups of signatures from
+// off-chip storage into the signature cache.
+func (pr *Predictor) stream(f int32, upTo int) {
+	fr := &pr.frames[f]
+	fr.lastActive = pr.stats.Recorded
+	n := len(fr.sigs)
+	if upTo > n {
+		upTo = n
+	}
+	w := int(pr.window[f])
+	for w < upTo {
+		end := w + pr.p.TransferUnit
+		if end > n {
+			end = n
+		}
+		for i := w; i < end; i++ {
+			s := fr.sigs[i]
+			pr.sc.insert(sigEntry{
+				sig:   s.sig,
+				repl:  s.repl,
+				conf:  s.conf,
+				frame: f,
+				off:   int32(i),
+			})
+		}
+		pr.stats.StreamedSigs += uint64(end - w)
+		pr.stats.SeqFetchBytes += uint64((end - w) * pr.p.SigBytes)
+		w = end
+	}
+	if w > int(pr.window[f]) {
+		pr.window[f] = int32(w)
+	}
+}
+
+// checkHead consults the sequence tag array: if cur is the head signature of
+// a frame, (re)start streaming that fragment from its beginning. A fragment
+// that is already being actively consumed is not restarted: head signatures
+// can collide with frequently recurring (e.g. hot-loop) signatures, and
+// unconditional restarts would re-stream the fragment endlessly, wasting
+// off-chip bandwidth. A frame counts as active until a full fragment's
+// worth of misses passes without it streaming or serving a hit.
+func (pr *Predictor) checkHead(cur history.Signature) {
+	f := int32(uint32(cur)) & pr.frameMask
+	fr := &pr.frames[f]
+	if !fr.headValid || fr.head != cur || len(fr.sigs) == 0 {
+		return
+	}
+	if pr.window[f] != 0 && pr.stats.Recorded-fr.lastActive < uint64(pr.p.FragmentSigs) {
+		return // recently active: leave the in-progress stream alone
+	}
+	pr.stats.HeadActivations++
+	pr.window[f] = 0
+	pr.stream(f, pr.p.WindowAhead)
+}
+
+// OnChipBytes reports the configured on-chip budget.
+func (pr *Predictor) OnChipBytes() int { return pr.p.OnChipBytes() }
+
+// OffChipTrafficBytes reports cumulative off-chip metadata traffic
+// (sequence creation including confidence write-backs, and sequence fetch).
+// The timing engine charges these bytes to the memory bus.
+func (pr *Predictor) OffChipTrafficBytes() (writes, fetches uint64) {
+	return pr.stats.SeqWriteBytes + pr.stats.ConfWriteBytes, pr.stats.SeqFetchBytes
+}
+
+// StoredSignatures reports how many signatures currently reside in off-chip
+// sequence storage (for the storage-sensitivity experiments).
+func (pr *Predictor) StoredSignatures() int {
+	n := 0
+	for i := range pr.frames {
+		n += len(pr.frames[i].sigs)
+	}
+	return n
+}
+
+// String summarises the configuration.
+func (pr *Predictor) String() string {
+	return fmt.Sprintf("lt-cords{sigcache=%d/%d-way frames=%d frag=%d onchip=%dKB offchip=%dMB}",
+		pr.p.SigCacheEntries, pr.p.SigCacheAssoc, pr.p.Frames, pr.p.FragmentSigs,
+		pr.p.OnChipBytes()/1024, pr.p.OffChipBytes()/(1<<20))
+}

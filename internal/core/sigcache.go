@@ -1,0 +1,104 @@
+package core
+
+import (
+	"repro/internal/history"
+	"repro/internal/mem"
+)
+
+// sigEntry is one on-chip signature cache entry. Besides the signature and
+// its prediction, it carries the pointer to the signature's exact location
+// in off-chip sequence storage (paper Section 4.3: the pointer identifies
+// the frame, advances the fragment's sliding window, and allows direct
+// confidence write-backs).
+type sigEntry struct {
+	valid bool
+	conf  uint8
+	sig   history.Signature
+	frame int32
+	off   int32
+	fifo  uint64
+	repl  mem.Addr
+}
+
+// sigCache is the set-associative on-chip signature cache. Signatures are
+// replaced in FIFO order within a set (paper Section 4.3).
+type sigCache struct {
+	entries []sigEntry
+	setMask uint32
+	assoc   int
+	clock   uint64
+}
+
+func newSigCache(entries, assoc int) *sigCache {
+	sets := entries / assoc
+	return &sigCache{
+		entries: make([]sigEntry, entries),
+		setMask: uint32(sets - 1),
+		assoc:   assoc,
+	}
+}
+
+func (s *sigCache) set(sig history.Signature) []sigEntry {
+	base := int(uint32(sig)&s.setMask) * s.assoc
+	return s.entries[base : base+s.assoc]
+}
+
+// lookup returns the entry holding sig, or nil.
+func (s *sigCache) lookup(sig history.Signature) *sigEntry {
+	set := s.set(sig)
+	for i := range set {
+		if set[i].valid && set[i].sig == sig {
+			return &set[i]
+		}
+	}
+	return nil
+}
+
+// insert places a signature, refreshing in place if the same off-chip
+// location is already cached, and otherwise replacing the oldest (FIFO)
+// entry of the set.
+func (s *sigCache) insert(e sigEntry) {
+	s.clock++
+	e.valid = true
+	e.fifo = s.clock
+	set := s.set(e.sig)
+	victim := 0
+	oldest := set[0].fifo
+	for i := range set {
+		if set[i].valid && set[i].sig == e.sig && set[i].frame == e.frame && set[i].off == e.off {
+			set[i] = e
+			return
+		}
+		if !set[i].valid {
+			victim = i
+			oldest = 0
+			continue
+		}
+		if set[i].fifo < oldest {
+			victim, oldest = i, set[i].fifo
+		}
+	}
+	set[victim] = e
+}
+
+// invalidate drops the entry if present.
+func (s *sigCache) invalidate(sig history.Signature, frame, off int32) {
+	set := s.set(sig)
+	for i := range set {
+		if set[i].valid && set[i].sig == sig && set[i].frame == frame && set[i].off == off {
+			set[i].valid = false
+			return
+		}
+	}
+}
+
+// validCount reports the number of valid entries (tests).
+func (s *sigCache) validCount() int {
+	n := 0
+	for i := range s.entries {
+		if s.entries[i].valid {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,537 @@
+// Package cpu implements the cycle-level timing model used for the paper's
+// speedup (Table 3) and bandwidth (Figure 12) experiments.
+//
+// It is an interval-style model of the Table 1 machine: an 8-wide
+// out-of-order core with a 256-entry reorder buffer, 128-entry load/store
+// queue and 64 L1D MSHRs, a two-channel L1/L2 bus, a 1MB L2, a 32-byte
+// 1333MHz memory bus and 200-cycle DRAM. The model charges exactly the
+// effects the paper's results hinge on:
+//
+//   - exposed miss latency: a load's completion waits for its cache level,
+//     bus queuing and DRAM;
+//   - memory-level parallelism: independent misses overlap up to the MSHR
+//     and bus limits, while Dep-flagged references (pointer chasing)
+//     serialize behind the previous load;
+//   - window stalls: the core cannot run more than ROB instructions or LSQ
+//     memory operations ahead of an incomplete memory access;
+//   - front-end bubbles: branch mispredictions cost a fixed penalty at the
+//     workload's misprediction density;
+//   - TLB misses (256-entry, 4-way, 600-cycle penalty);
+//   - prefetch traffic: prefetches occupy the same busses and DRAM, are
+//     limited by a 128-entry request queue, and fill the L1 only when their
+//     data arrives.
+//
+// The absolute IPC of a real Alpha pipeline is not reproduced (see
+// DESIGN.md §5); relative speedups across predictor configurations are the
+// meaningful output.
+package cpu
+
+import (
+	"fmt"
+	"slices"
+
+	"repro/internal/bus"
+	"repro/internal/cache"
+	"repro/internal/mem"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// Params configures the core and memory system (defaults: paper Table 1).
+type Params struct {
+	IssueWidth    int     // instructions per cycle
+	ROB           int     // reorder buffer entries
+	LSQ           int     // load/store queue entries
+	MSHRs         int     // outstanding L1D misses
+	BranchPenalty int     // cycles per branch misprediction
+	BranchMPKI    float64 // mispredictions per 1000 instructions (workload)
+	TLBEntries    int
+	TLBAssoc      int
+	TLBPenalty    int // cycles per TLB miss
+	PageBytes     int
+	PrefetchQueue int // prefetch request queue entries
+	// PerfectL1 makes every L1D access hit (the Table 3 upper bound).
+	PerfectL1 bool
+	// WarmupInstrs excludes the first N committed instructions from the
+	// measured-region counters (MeasuredCycles/MeasuredIPC), mirroring the
+	// paper's SMARTS methodology of detailed warm-up before measurement.
+	// The caches and predictor still simulate the warm-up in full detail.
+	WarmupInstrs uint64
+	// DeadTimes, when non-nil, collects L1D eviction dead-times in cycles
+	// (Figure 2).
+	DeadTimes *stats.Log2Histogram
+}
+
+// DefaultParams returns the paper's Table 1 core configuration.
+func DefaultParams() Params {
+	return Params{
+		IssueWidth:    8,
+		ROB:           256,
+		LSQ:           128,
+		MSHRs:         64,
+		BranchPenalty: 12,
+		TLBEntries:    256,
+		TLBAssoc:      4,
+		TLBPenalty:    600,
+		PageBytes:     8192,
+		PrefetchQueue: 128,
+	}
+}
+
+// Result summarises a timing run.
+type Result struct {
+	Predictor string
+	Instrs    uint64
+	Refs      uint64
+	Cycles    uint64
+
+	L1Misses uint64
+	L2Misses uint64
+	TLBMiss  uint64
+
+	// Off-chip (memory bus) traffic decomposition, Figure 12 categories.
+	BytesBaseData  uint64 // demand block transfers incl. write-backs and useful prefetches
+	BytesIncorrect uint64 // block transfers of prefetches that were never used
+	BytesSeqWrite  uint64 // LT-cords sequence creation + confidence updates
+	BytesSeqFetch  uint64 // LT-cords sequence fetch
+
+	MemBusBusy     uint64 // memory bus occupancy in cycles
+	PrefetchIssued uint64
+	PrefetchDrops  uint64 // queue overflow drops
+	BranchBubbles  uint64
+
+	// WarmCycles and WarmInstrs are the cycle/instruction counts consumed
+	// by the warm-up region (zero when no warm-up was configured).
+	WarmCycles uint64
+	WarmInstrs uint64
+}
+
+// MeasuredCycles returns the cycles of the measured (post-warm-up) region.
+func (r Result) MeasuredCycles() uint64 { return r.Cycles - r.WarmCycles }
+
+// MeasuredInstrs returns the instructions of the measured region.
+func (r Result) MeasuredInstrs() uint64 { return r.Instrs - r.WarmInstrs }
+
+// MeasuredIPC returns IPC over the measured region.
+func (r Result) MeasuredIPC() float64 {
+	c := r.MeasuredCycles()
+	if c == 0 {
+		return 0
+	}
+	return float64(r.MeasuredInstrs()) / float64(c)
+}
+
+// IPC returns instructions per cycle.
+func (r Result) IPC() float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return float64(r.Instrs) / float64(r.Cycles)
+}
+
+// BytesPerInstr returns total off-chip traffic per instruction (the
+// Figure 12 y-axis).
+func (r Result) BytesPerInstr() float64 {
+	if r.Instrs == 0 {
+		return 0
+	}
+	total := r.BytesBaseData + r.BytesIncorrect + r.BytesSeqWrite + r.BytesSeqFetch
+	return float64(total) / float64(r.Instrs)
+}
+
+// OffChipTraffic is implemented by predictors whose metadata lives off chip
+// (LT-cords): the engine charges the byte deltas to the memory bus.
+type OffChipTraffic interface {
+	// OffChipTrafficBytes returns cumulative (writes, fetches) byte counts.
+	OffChipTrafficBytes() (writes, fetches uint64)
+}
+
+type inflightOp struct {
+	instr  uint64 // instruction index at issue
+	done   uint64 // completion cycle
+	isMiss bool
+}
+
+type pendingPrefetch struct {
+	addr      mem.Addr
+	victim    mem.Addr
+	useVictim bool
+	ready     uint64
+}
+
+// Engine runs timing simulations. Create one per run.
+type Engine struct {
+	p      Params
+	l1cfg  cache.Config
+	l2cfg  cache.Config
+	l1     *cache.Cache
+	l2     *cache.Cache
+	tlb    *cache.Cache
+	busL2  *bus.Line
+	dram   *bus.DRAM
+	memBus *bus.Line
+
+	cycle      uint64
+	instrs     uint64
+	issueCarry int // instructions not yet converted to cycles
+
+	rob []inflightOp // FIFO of in-flight memory ops (instruction order)
+
+	lastLoadDone uint64
+
+	pfQueue     []pendingPrefetch
+	pfTracker   map[mem.Addr]uint64 // in-flight prefetch -> ready cycle
+	mshrScratch []uint64
+
+	branchDebtMicro uint64
+	lastEvict       *cache.EvictInfo // eviction of the most recent demand access
+	pfOffChip       uint64           // off-chip bytes fetched by L1-targeted prefetches
+	pfOffChipL2     uint64           // off-chip bytes fetched by L2-targeted prefetches
+
+	res Result
+}
+
+// NewEngine builds an engine for the given configs. Zero-valued cache
+// configs default to the paper's L1D/L2.
+func NewEngine(p Params, l1cfg, l2cfg cache.Config) (*Engine, error) {
+	if l1cfg.Size == 0 {
+		l1cfg = sim.PaperL1D()
+	}
+	if l2cfg.Size == 0 {
+		l2cfg = sim.PaperL2()
+	}
+	if p.IssueWidth < 1 || p.ROB < 1 || p.LSQ < 1 || p.MSHRs < 1 {
+		return nil, fmt.Errorf("cpu: core parameters must be positive")
+	}
+	l1, err := cache.New(l1cfg)
+	if err != nil {
+		return nil, err
+	}
+	l2, err := cache.New(l2cfg)
+	if err != nil {
+		return nil, err
+	}
+	tlb, err := cache.New(cache.Config{
+		Name: "TLB", Size: p.TLBEntries * p.PageBytes, BlockSize: p.PageBytes, Assoc: p.TLBAssoc,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("cpu: tlb: %w", err)
+	}
+	memBus := bus.NewLine("mem", 1)
+	return &Engine{
+		p:         p,
+		l1cfg:     l1cfg,
+		l2cfg:     l2cfg,
+		l1:        l1,
+		l2:        l2,
+		tlb:       tlb,
+		busL2:     bus.NewLine("l1l2", 2),
+		memBus:    memBus,
+		dram:      bus.NewDRAM(memBus),
+		pfTracker: make(map[mem.Addr]uint64, 256),
+	}, nil
+}
+
+// memBusIdleGrant returns now (prefetches are issued opportunistically;
+// the shared bus reservation inside the DRAM model provides the queuing).
+func (e *Engine) memBusIdleGrant(now uint64) uint64 { return now }
+
+// retire pops completed ops and enforces ROB/LSQ windows before issuing
+// instruction index instr.
+func (e *Engine) retire(instr uint64) {
+	for len(e.rob) > 0 {
+		head := e.rob[0]
+		if head.done <= e.cycle {
+			e.rob = e.rob[1:]
+			continue
+		}
+		// Window constraints: the head blocks retirement. If the new
+		// instruction would overflow the ROB (instruction distance) or the
+		// LSQ (memory ops in flight), stall until the head completes.
+		if instr-head.instr >= uint64(e.p.ROB) || len(e.rob) >= e.p.LSQ {
+			e.cycle = head.done
+			e.rob = e.rob[1:]
+			continue
+		}
+		break
+	}
+}
+
+// mshrGate returns the earliest issue time respecting the MSHR limit: with
+// k misses outstanding at time at and a capacity of MSHRs, the new miss may
+// issue once enough of them complete that a register frees (the
+// (k-MSHRs+1)-th completion).
+func (e *Engine) mshrGate(at uint64) uint64 {
+	dones := e.mshrScratch[:0]
+	for i := range e.rob {
+		op := &e.rob[i]
+		if op.isMiss && op.done > at {
+			dones = append(dones, op.done)
+		}
+	}
+	e.mshrScratch = dones
+	if len(dones) < e.p.MSHRs {
+		return at
+	}
+	slices.Sort(dones)
+	return dones[len(dones)-e.p.MSHRs]
+}
+
+// drainPrefetches completes in-flight prefetches whose data has arrived,
+// filling the L1 (and informing mirror-keeping predictors).
+func (e *Engine) drainPrefetches(now uint64, filler sim.PrefetchFillObserver) {
+	i := 0
+	for ; i < len(e.pfQueue); i++ {
+		pp := e.pfQueue[i]
+		if pp.ready > now {
+			break
+		}
+		delete(e.pfTracker, pp.addr)
+		if ev, inserted := e.l1.InsertPrefetch(pp.addr, pp.victim, pp.useVictim, now); inserted {
+			if e.p.DeadTimes != nil && ev.Valid {
+				e.p.DeadTimes.Add(ev.DeadTime)
+			}
+			if filler != nil {
+				var ep *cache.EvictInfo
+				if ev.Valid {
+					ep = &ev
+				}
+				filler.OnPrefetchFill(pp.addr, ep)
+			}
+		}
+	}
+	if i > 0 {
+		e.pfQueue = e.pfQueue[i:]
+	}
+}
+
+// fetchLatency walks the memory system for a demand access issued at time
+// at and returns (completionTime, missedL1, missedL2, offChipBytes).
+func (e *Engine) fetchLatency(at uint64, addr mem.Addr, write bool) (uint64, bool, bool, uint64) {
+	if e.p.PerfectL1 {
+		return at + uint64(e.l1cfg.HitLatency), false, false, 0
+	}
+	res := e.l1.Access(addr, write, at)
+	if res.Evicted.Valid {
+		ev := res.Evicted
+		e.lastEvict = &ev
+		if e.p.DeadTimes != nil {
+			e.p.DeadTimes.Add(ev.DeadTime)
+		}
+	}
+	if res.Hit {
+		return at + uint64(e.l1cfg.HitLatency), false, false, 0
+	}
+	// In-flight prefetch to the same block: merge with it.
+	if ready, ok := e.pfTracker[e.l1.Geometry().BlockAddr(addr)]; ok {
+		done := ready
+		if m := at + uint64(e.l1cfg.HitLatency); done < m {
+			done = m
+		}
+		return done, false, false, 0
+	}
+	var offChip uint64
+	// L1/L2 bus: 1-cycle request, 64B block at 32B/cycle = 2 transfer cycles.
+	grant := e.busL2.Reserve(at, 1+e.l1cfg.BlockSize/32, e.l1cfg.BlockSize)
+	l2res := e.l2.Access(addr, false, at)
+	var done uint64
+	if l2res.Hit {
+		done = grant + uint64(e.l2cfg.HitLatency) + uint64(e.l1cfg.BlockSize/32)
+	} else {
+		done = e.dram.ReadBlock(grant+uint64(e.l2cfg.HitLatency), e.l1cfg.BlockSize)
+		offChip += uint64(e.l1cfg.BlockSize)
+		if l2res.Evicted.Valid && l2res.Evicted.Dirty {
+			e.dram.WriteBlock(done, e.l1cfg.BlockSize)
+			offChip += uint64(e.l1cfg.BlockSize)
+		}
+	}
+	// The L1 eviction's write-back travels on the L1/L2 bus.
+	if res.Evicted.Valid && res.Evicted.Dirty {
+		e.busL2.Reserve(at, e.l1cfg.BlockSize/32, e.l1cfg.BlockSize)
+	}
+	return done, true, !l2res.Hit, offChip
+}
+
+// issuePrefetch models a predictor-initiated fetch: through L2, possibly
+// off chip, completing into the L1 when data arrives. L2-targeted
+// prefetches (GHB) fill only the L2.
+func (e *Engine) issuePrefetch(now uint64, p sim.Prediction) {
+	if e.p.PerfectL1 {
+		return
+	}
+	block := e.l1.Geometry().BlockAddr(p.Addr)
+	if p.ToL2 {
+		if e.l2.Probe(block) {
+			return
+		}
+		grant := e.memBusIdleGrant(now)
+		_ = e.dram.ReadBlock(grant, e.l1cfg.BlockSize)
+		e.l2.InsertPrefetch(block, 0, false, now)
+		e.res.PrefetchIssued++
+		e.pfOffChipL2 += uint64(e.l1cfg.BlockSize)
+		return
+	}
+	if e.l1.Probe(block) {
+		return
+	}
+	if _, inflight := e.pfTracker[block]; inflight {
+		return
+	}
+	if len(e.pfQueue) >= e.p.PrefetchQueue {
+		// The request queue is full: new requests replace old unissued
+		// ones at the queue head (paper Section 5: "new requests replace
+		// old (unissued) ones at the queue head").
+		e.pfQueue = e.pfQueue[1:]
+		e.res.PrefetchDrops++
+	}
+	grant := e.busL2.Reserve(now, 1+e.l1cfg.BlockSize/32, e.l1cfg.BlockSize)
+	l2res := e.l2.Access(block, false, now)
+	var ready uint64
+	if l2res.Hit {
+		ready = grant + uint64(e.l2cfg.HitLatency) + uint64(e.l1cfg.BlockSize/32)
+	} else {
+		ready = e.dram.ReadBlock(grant+uint64(e.l2cfg.HitLatency), e.l1cfg.BlockSize)
+		e.pfOffChip += uint64(e.l1cfg.BlockSize) // split correct/incorrect at the end
+	}
+	e.res.PrefetchIssued++
+	e.pfQueue = append(e.pfQueue, pendingPrefetch{addr: block, victim: p.Victim, useVictim: p.UseVictim, ready: ready})
+	e.pfTracker[block] = ready
+}
+
+// Run drives the reference stream through the timing model with the given
+// prefetcher (sim.Null{} for the baseline).
+func (e *Engine) Run(src trace.Source, pf sim.Prefetcher) Result {
+	filler, _ := pf.(sim.PrefetchFillObserver)
+	traffic, _ := pf.(OffChipTraffic)
+	var lastWrites, lastFetches uint64
+	warmed := e.p.WarmupInstrs == 0
+
+	for {
+		ref, ok := src.Next()
+		if !ok {
+			break
+		}
+		e.res.Refs++
+		n := uint64(ref.Gap) + 1
+		e.instrs += n
+		if !warmed && e.instrs >= e.p.WarmupInstrs {
+			warmed = true
+			e.res.WarmCycles = e.cycle
+			e.res.WarmInstrs = e.instrs
+		}
+
+		// Front-end: issue-width-limited instruction delivery.
+		e.issueCarry += int(n)
+		e.cycle += uint64(e.issueCarry / e.p.IssueWidth)
+		e.issueCarry %= e.p.IssueWidth
+
+		// Branch mispredictions at the workload's density: MPKI per 1000
+		// instructions, accumulated in micro-misprediction units.
+		if e.p.BranchMPKI > 0 {
+			e.branchDebtMicro += n * uint64(e.p.BranchMPKI*1000)
+			for e.branchDebtMicro >= 1_000_000 {
+				e.cycle += uint64(e.p.BranchPenalty)
+				e.res.BranchBubbles++
+				e.branchDebtMicro -= 1_000_000
+			}
+		}
+
+		e.retire(e.instrs)
+		e.drainPrefetches(e.cycle, filler)
+
+		issue := e.cycle
+		if ref.Dep && e.lastLoadDone > issue {
+			// Address depends on the previous load's value.
+			issue = e.lastLoadDone
+		}
+
+		// TLB.
+		if !e.tlb.Access(ref.Addr, false, e.cycle).Hit {
+			e.res.TLBMiss++
+			issue += uint64(e.p.TLBPenalty)
+		}
+
+		issue = e.mshrGate(issue)
+
+		write := ref.Kind == trace.Store
+		done, l1miss, l2miss, offBytes := e.fetchLatency(issue, ref.Addr, write)
+		e.res.BytesBaseData += offBytes
+		if l1miss {
+			e.res.L1Misses++
+		}
+		if l2miss {
+			e.res.L2Misses++
+		}
+		if !write {
+			e.lastLoadDone = done
+		}
+		// Stores commit without blocking (write buffer), but their fills
+		// occupy the machine like loads.
+		e.rob = append(e.rob, inflightOp{instr: e.instrs, done: done, isMiss: l1miss})
+
+		// Predictor hooks (committed-access observation).
+		preds := pf.OnAccess(ref, !l1miss, e.lastEvict)
+		e.lastEvict = nil
+		for _, p := range preds {
+			if e.l1.Geometry().BlockAddr(p.Addr) == e.l1.Geometry().BlockAddr(ref.Addr) {
+				continue
+			}
+			e.issuePrefetch(e.cycle, p)
+		}
+
+		// Charge the predictor's own off-chip traffic (LT-cords sequence
+		// creation and fetch) to the memory bus.
+		if traffic != nil {
+			w, f := traffic.OffChipTrafficBytes()
+			if dw := w - lastWrites; dw > 0 {
+				e.dram.WriteBlock(e.cycle, int(dw))
+				e.res.BytesSeqWrite += dw
+				lastWrites = w
+			}
+			if df := f - lastFetches; df > 0 {
+				e.dram.ReadBlock(e.cycle, int(df))
+				e.res.BytesSeqFetch += df
+				lastFetches = f
+			}
+		}
+	}
+	// Drain: run to completion of all outstanding operations.
+	for _, op := range e.rob {
+		if op.done > e.cycle {
+			e.cycle = op.done
+		}
+	}
+	e.res.Predictor = pf.Name()
+	e.res.Instrs = e.instrs
+	e.res.Cycles = e.cycle
+	e.res.MemBusBusy = e.memBus.BusyCycles()
+	// Split the prefetch off-chip traffic into useful (base data: those
+	// fetches substituted demand transfers) and incorrect (never-touched
+	// prefetches), pro-rated by the observed useless fraction at the level
+	// the prefetcher targets.
+	split := func(offChip uint64, st cache.Stats) {
+		if st.PrefetchInserts > 0 {
+			uselessFrac := 1 - float64(st.PrefetchHits)/float64(st.PrefetchInserts)
+			wrong := uint64(float64(offChip) * uselessFrac)
+			e.res.BytesIncorrect += wrong
+			e.res.BytesBaseData += offChip - wrong
+		} else {
+			e.res.BytesBaseData += offChip
+		}
+	}
+	split(e.pfOffChip, e.l1.Stats())
+	split(e.pfOffChipL2, e.l2.Stats())
+	return e.res
+}
+
+// L1Stats exposes the L1 cache counters after a run.
+func (e *Engine) L1Stats() cache.Stats { return e.l1.Stats() }
+
+// L2Stats exposes the L2 cache counters after a run.
+func (e *Engine) L2Stats() cache.Stats { return e.l2.Stats() }
+
+// MemBusUtilization returns the memory bus busy fraction over the run.
+func (e *Engine) MemBusUtilization() float64 {
+	return e.memBus.Utilization(e.cycle)
+}

@@ -1,0 +1,165 @@
+package cpu
+
+import (
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/mem"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// l2Prefetcher issues an L2-targeted prefetch for the next block on every
+// miss (GHB-style targeting without the delta logic).
+type l2Prefetcher struct{ geo mem.Geometry }
+
+func (l2Prefetcher) Name() string { return "l2-next" }
+
+func (p l2Prefetcher) OnAccess(ref trace.Ref, hit bool, evicted *cache.EvictInfo) []sim.Prediction {
+	if hit {
+		return nil
+	}
+	return []sim.Prediction{{Addr: p.geo.BlockAddr(ref.Addr) + 64, ToL2: true}}
+}
+
+// L2-targeted prefetches must reduce L2 misses (and cycles) on a stream
+// without touching L1 miss counts.
+func TestL2TargetedPrefetchTiming(t *testing.T) {
+	mk := func() trace.Source {
+		return workload.StreamOnce(workload.StreamConfig{
+			Base: 0x100000, Bytes: 4 << 20, Stride: 64, Passes: 2, PCBase: 0x10,
+		})
+	}
+	base := mustEngine(t, DefaultParams()).Run(mk(), sim.Null{})
+	geo, _ := mem.NewGeometry(64, 512)
+	pfRes := mustEngine(t, DefaultParams()).Run(mk(), l2Prefetcher{geo})
+	t.Logf("base: cycles=%d l2miss=%d; l2-next: cycles=%d l2miss=%d",
+		base.Cycles, base.L2Misses, pfRes.Cycles, pfRes.L2Misses)
+	if pfRes.L1Misses != base.L1Misses {
+		t.Errorf("L2-targeted prefetch must not change L1 misses: %d vs %d", pfRes.L1Misses, base.L1Misses)
+	}
+	if pfRes.L2Misses >= base.L2Misses {
+		t.Errorf("L2 prefetching should cut L2 misses: %d vs %d", pfRes.L2Misses, base.L2Misses)
+	}
+	if pfRes.Cycles >= base.Cycles {
+		t.Errorf("covering off-chip latency should save cycles: %d vs %d", pfRes.Cycles, base.Cycles)
+	}
+}
+
+// floodPrefetcher issues many L1 prefetches per access to overflow the
+// request queue.
+type floodPrefetcher struct{ geo mem.Geometry }
+
+func (floodPrefetcher) Name() string { return "flood" }
+
+func (p floodPrefetcher) OnAccess(ref trace.Ref, hit bool, evicted *cache.EvictInfo) []sim.Prediction {
+	blk := p.geo.BlockAddr(ref.Addr)
+	out := make([]sim.Prediction, 8)
+	for i := range out {
+		out[i] = sim.Prediction{Addr: blk + mem.Addr((i+1)*64)}
+	}
+	return out
+}
+
+func TestPrefetchQueueOverflowDrops(t *testing.T) {
+	p := DefaultParams()
+	p.PrefetchQueue = 8
+	e := mustEngine(t, p)
+	geo, _ := mem.NewGeometry(64, 512)
+	src := workload.StreamOnce(workload.StreamConfig{
+		Base: 0x100000, Bytes: 1 << 20, Stride: 64, Passes: 1, PCBase: 0x10,
+	})
+	r := e.Run(src, floodPrefetcher{geo})
+	if r.PrefetchDrops == 0 {
+		t.Error("a tiny queue flooded with prefetches must drop requests")
+	}
+}
+
+// Warmup accounting: measured region excludes the configured prefix.
+func TestWarmupMeasuredRegion(t *testing.T) {
+	p := DefaultParams()
+	p.WarmupInstrs = 50_000
+	e := mustEngine(t, p)
+	src := workload.ArraySweep(workload.SweepConfig{
+		Base: 0x100000, Arrays: 1, Elems: 8192, Stride: 64, Iters: 4, PCBase: 0x10, Gap: workload.Gaps{Mean: 3},
+	})
+	r := e.Run(src, sim.Null{})
+	if r.WarmInstrs < 50_000 || r.WarmInstrs > 50_300 {
+		t.Errorf("warm instrs = %d want ~50000", r.WarmInstrs)
+	}
+	if r.WarmCycles == 0 || r.WarmCycles >= r.Cycles {
+		t.Errorf("warm cycles = %d of %d", r.WarmCycles, r.Cycles)
+	}
+	if r.MeasuredInstrs() != r.Instrs-r.WarmInstrs {
+		t.Error("measured instrs inconsistent")
+	}
+	if r.MeasuredIPC() <= 0 {
+		t.Error("measured IPC must be positive")
+	}
+}
+
+// MSHR gating: with a single MSHR, independent misses serialize like
+// dependent ones.
+func TestMSHRLimitSerializes(t *testing.T) {
+	mk := func() trace.Source {
+		refs := make([]trace.Ref, 16384)
+		rng := workload.NewRNG(3)
+		for i := range refs {
+			refs[i] = trace.Ref{PC: 0x40, Addr: mem.Addr(0x100000 + rng.Intn(1<<24)&^63)}
+		}
+		return trace.NewSliceSource(refs)
+	}
+	wide := DefaultParams()
+	narrow := DefaultParams()
+	narrow.MSHRs = 1
+	rWide := mustEngine(t, wide).Run(mk(), sim.Null{})
+	rNarrow := mustEngine(t, narrow).Run(mk(), sim.Null{})
+	t.Logf("64 MSHRs: %d cycles; 1 MSHR: %d cycles", rWide.Cycles, rNarrow.Cycles)
+	if rNarrow.Cycles < rWide.Cycles*4 {
+		t.Errorf("one MSHR should serialize misses: %d vs %d", rNarrow.Cycles, rWide.Cycles)
+	}
+}
+
+// Stores do not serialize the dependent chain (non-blocking commit).
+func TestStoresDoNotBlockChain(t *testing.T) {
+	mkRefs := func(storeKind trace.Kind) trace.Source {
+		refs := make([]trace.Ref, 8192)
+		rng := workload.NewRNG(9)
+		for i := range refs {
+			refs[i] = trace.Ref{PC: 0x40, Addr: mem.Addr(0x100000 + rng.Intn(1<<24)&^63), Kind: storeKind}
+		}
+		return trace.NewSliceSource(refs)
+	}
+	loads := mustEngine(t, DefaultParams()).Run(mkRefs(trace.Load), sim.Null{})
+	stores := mustEngine(t, DefaultParams()).Run(mkRefs(trace.Store), sim.Null{})
+	// Both are miss streams with the same bus demand; stores must not be
+	// slower than loads.
+	if stores.Cycles > loads.Cycles*11/10 {
+		t.Errorf("stores (%d cycles) should not exceed loads (%d cycles)", stores.Cycles, loads.Cycles)
+	}
+}
+
+// A bigger L2 helps a workload whose working set fits it.
+func TestBiggerL2Helps(t *testing.T) {
+	mk := func() trace.Source {
+		// 2.5MB working set: misses the 1MB L2, fits a 4MB one.
+		return workload.ArraySweep(workload.SweepConfig{
+			Base: 0x100000, Arrays: 1, Elems: 40_000, Stride: 64, Iters: 5, PCBase: 0x10,
+		})
+	}
+	small, err := NewEngine(DefaultParams(), cache.Config{}, sim.PaperL2())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rSmall := small.Run(mk(), sim.Null{})
+	big, err := NewEngine(DefaultParams(), cache.Config{}, sim.PaperL2Big())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rBig := big.Run(mk(), sim.Null{})
+	t.Logf("1MB L2: %d cycles; 4MB L2: %d cycles", rSmall.Cycles, rBig.Cycles)
+	if rBig.Cycles >= rSmall.Cycles {
+		t.Error("quadrupled L2 must help an L2-resident working set")
+	}
+}

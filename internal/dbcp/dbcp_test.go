@@ -1,0 +1,151 @@
+package dbcp
+
+import (
+	"testing"
+
+	"repro/internal/history"
+	"repro/internal/mem"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+func sweep(iters int) *workload.SweepConfig {
+	return &workload.SweepConfig{
+		Base: 0x100000, Arrays: 1, Elems: 16384, Stride: 64, Iters: iters, PCBase: 0x10,
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(sim.PaperL1D(), Params{EntryBytes: 0}); err == nil {
+		t.Error("EntryBytes 0 must fail")
+	}
+	if _, err := New(sim.PaperL1D(), Params{EntryBytes: 5, TableBytes: 1024, Assoc: 0}); err == nil {
+		t.Error("zero associativity must fail")
+	}
+	pr, err := New(sim.PaperL1D(), DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2MB / 5B = 419430 entries; sets round down to a power of two.
+	if got := pr.Entries(); got != 32768*8 {
+		t.Errorf("entries = %d want %d", got, 32768*8)
+	}
+	if pr.Name() != "dbcp-2048KB" {
+		t.Errorf("name = %q", pr.Name())
+	}
+	un := MustNew(sim.PaperL1D(), UnlimitedParams())
+	if un.Name() != "dbcp-unlimited" {
+		t.Errorf("unlimited name = %q", un.Name())
+	}
+}
+
+func TestUnlimitedCoversSweep(t *testing.T) {
+	pr := MustNew(sim.PaperL1D(), UnlimitedParams())
+	cov, err := sim.RunCoverage(workload.ArraySweep(*sweep(6)), pr, sim.CoverageConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("unlimited dbcp: coverage=%.1f%% train=%.1f%% (entries=%d, %dKB)",
+		cov.CoveragePct()*100, cov.TrainPct()*100, pr.TableEntries(), pr.StorageBytes()/1024)
+	if cov.CoveragePct() < 0.6 {
+		t.Errorf("unlimited DBCP coverage %.2f too low", cov.CoveragePct())
+	}
+	if pr.TableEntries() == 0 {
+		t.Error("no correlations learned")
+	}
+}
+
+// The Figure 4 effect: a tiny table thrashes on a footprint with many more
+// signatures than entries, collapsing coverage relative to unlimited.
+func TestFiniteTableDegrades(t *testing.T) {
+	run := func(p Params) float64 {
+		pr := MustNew(sim.PaperL1D(), p)
+		cov, err := sim.RunCoverage(workload.ArraySweep(*sweep(6)), pr, sim.CoverageConfig{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return cov.CoveragePct()
+	}
+	small := Params{TableBytes: 16 * 1024, EntryBytes: 5, Assoc: 8, ConfInit: 2, ConfMax: 3, ConfThresh: 2}
+	smallCov := run(small)
+	unlCov := run(UnlimitedParams())
+	t.Logf("finite 16KB: %.2f, unlimited: %.2f", smallCov, unlCov)
+	// 16KB = ~3K entries vs 16K signatures: the working set cannot fit.
+	if smallCov > unlCov*0.6 {
+		t.Errorf("16KB table coverage %.2f should collapse vs unlimited %.2f", smallCov, unlCov)
+	}
+}
+
+func TestMonotoneInTableSize(t *testing.T) {
+	sizes := []int{32 * 1024, 256 * 1024, 2 * mem.MiB}
+	prev := -1.0
+	for _, s := range sizes {
+		p := DefaultParams()
+		p.TableBytes = s
+		pr := MustNew(sim.PaperL1D(), p)
+		cov, err := sim.RunCoverage(workload.ArraySweep(*sweep(5)), pr, sim.CoverageConfig{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		c := cov.CoveragePct()
+		t.Logf("%7dKB -> %.3f", s/1024, c)
+		if c < prev-0.05 { // allow small non-monotonic wiggle
+			t.Errorf("coverage decreased materially with larger table: %v -> %v", prev, c)
+		}
+		prev = c
+	}
+}
+
+func TestUpsertConfidence(t *testing.T) {
+	pr := MustNew(sim.PaperL1D(), UnlimitedParams())
+	sig := history.Signature(42)
+	pr.upsert(sig, 0x1000)
+	e := pr.lookup(sig)
+	if e == nil || e.conf != 2 || e.repl != 0x1000 {
+		t.Fatalf("initial entry = %+v", e)
+	}
+	pr.upsert(sig, 0x1000) // confirm: conf 3
+	if e.conf != 3 {
+		t.Errorf("conf after confirm = %d", e.conf)
+	}
+	pr.upsert(sig, 0x2000) // mismatch: conf 2
+	pr.upsert(sig, 0x2000) // mismatch: conf 1
+	pr.upsert(sig, 0x2000) // mismatch: conf 0
+	if e.conf != 0 || e.repl != 0x1000 {
+		t.Errorf("after mismatches: conf=%d repl=%#x", e.conf, e.repl)
+	}
+	pr.upsert(sig, 0x2000) // conf 0: replace target
+	if e.repl != 0x2000 || e.conf != 2 {
+		t.Errorf("replacement failed: %+v", e)
+	}
+}
+
+func TestEarlyEvictionFeedback(t *testing.T) {
+	pr := MustNew(sim.PaperL1D(), UnlimitedParams())
+	sig := history.Signature(7)
+	pr.upsert(sig, 0x4000)
+	pr.lastPred[0x8000] = sig
+	pr.OnEarlyEviction(0x8000)
+	if e := pr.lookup(sig); e.conf != 0 {
+		t.Errorf("conf after early eviction = %d want 0 (reset)", e.conf)
+	}
+	pr.OnEarlyEviction(0xBEEF00) // unknown: no-op
+}
+
+// DBCP with unlimited storage must never do worse than a finite table on
+// the same stream (a sanity relation used by the Figure 4 harness).
+func TestUnlimitedDominates(t *testing.T) {
+	mkSrc := func() *workload.ChaseConfig {
+		return &workload.ChaseConfig{
+			Base: 0x200000, Nodes: 8192, NodeSize: 64, ShuffleLayout: true, Iters: 5, PCBase: 0x10, Seed: 3,
+		}
+	}
+	unl := MustNew(sim.PaperL1D(), UnlimitedParams())
+	covU, _ := sim.RunCoverage(workload.PointerChase(*mkSrc()), unl, sim.CoverageConfig{})
+	fin := MustNew(sim.PaperL1D(), Params{TableBytes: 8 * 1024, EntryBytes: 5, Assoc: 8, ConfInit: 2, ConfMax: 3, ConfThresh: 2})
+	covF, _ := sim.RunCoverage(workload.PointerChase(*mkSrc()), fin, sim.CoverageConfig{})
+	t.Logf("unlimited %.2f vs 8KB %.2f", covU.CoveragePct(), covF.CoveragePct())
+	if covU.CoveragePct()+0.02 < covF.CoveragePct() {
+		t.Error("unlimited DBCP must dominate a tiny table")
+	}
+}

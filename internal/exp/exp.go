@@ -1,0 +1,209 @@
+// Package exp contains one runner per figure and table of the paper's
+// evaluation (Section 5), plus the Section 5.9 power comparison and a set
+// of design-choice ablations. Each runner produces a Report: a titled
+// table with notes, rendered by cmd/ltexp and collected into
+// EXPERIMENTS.md.
+//
+// See DESIGN.md §3 for the experiment index (what each id reproduces, the
+// workloads involved, and the modules exercised).
+package exp
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+
+	"repro/internal/cache"
+	"repro/internal/cpu"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/textplot"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// Options parameterize an experiment run.
+type Options struct {
+	// Scale selects workload size (default Small; Medium for paper-like
+	// runs).
+	Scale workload.Scale
+	// Seed is the workload seed (default 1).
+	Seed uint64
+	// Benchmarks restricts the run to the named presets (nil = the
+	// experiment's default set, usually all 28).
+	Benchmarks []string
+	// Progress, when non-nil, receives one line per completed step.
+	Progress io.Writer
+}
+
+func (o Options) seed() uint64 {
+	if o.Seed == 0 {
+		return 1
+	}
+	return o.Seed
+}
+
+// presets resolves the benchmark list.
+func (o Options) presets() ([]workload.Preset, error) {
+	if len(o.Benchmarks) == 0 {
+		return workload.Presets(), nil
+	}
+	var out []workload.Preset
+	for _, name := range o.Benchmarks {
+		p, ok := workload.ByName(name)
+		if !ok {
+			return nil, fmt.Errorf("exp: unknown benchmark %q", name)
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+func (o Options) progress(format string, args ...any) {
+	if o.Progress != nil {
+		fmt.Fprintf(o.Progress, format+"\n", args...)
+	}
+}
+
+// Section is one captioned table within a report.
+type Section struct {
+	Caption string
+	Table   *textplot.Table
+}
+
+// Report is a rendered experiment result.
+type Report struct {
+	// ID is the experiment identifier (e.g. "fig8", "table3").
+	ID string
+	// Title describes the paper artifact reproduced.
+	Title string
+	// Sections hold the result tables.
+	Sections []Section
+	// Notes carry derived headline numbers and caveats.
+	Notes []string
+}
+
+// AddSection appends a captioned table.
+func (r *Report) AddSection(caption string, t *textplot.Table) {
+	r.Sections = append(r.Sections, Section{Caption: caption, Table: t})
+}
+
+// Table returns the first section's table (many experiments have one).
+func (r *Report) Table() *textplot.Table {
+	if len(r.Sections) == 0 {
+		return nil
+	}
+	return r.Sections[0].Table
+}
+
+// Render writes the report to w.
+func (r *Report) Render(w io.Writer) {
+	fmt.Fprintf(w, "== %s: %s ==\n", r.ID, r.Title)
+	for _, s := range r.Sections {
+		fmt.Fprintln(w)
+		if s.Caption != "" {
+			fmt.Fprintf(w, "-- %s --\n", s.Caption)
+		}
+		if s.Table != nil {
+			s.Table.Render(w)
+		}
+	}
+	if len(r.Notes) > 0 {
+		fmt.Fprintln(w)
+		for _, n := range r.Notes {
+			fmt.Fprintf(w, "note: %s\n", n)
+		}
+	}
+}
+
+// Runner is an experiment entry point.
+type Runner func(Options) (*Report, error)
+
+var registry = map[string]Runner{}
+var registryOrder []string
+
+func register(id string, r Runner) {
+	if _, dup := registry[id]; dup {
+		panic("exp: duplicate experiment id " + id)
+	}
+	registry[id] = r
+	registryOrder = append(registryOrder, id)
+}
+
+// IDs returns all experiment ids in registration order.
+func IDs() []string {
+	out := append([]string(nil), registryOrder...)
+	sort.Strings(out)
+	return out
+}
+
+// Run executes the experiment with the given id.
+func Run(id string, o Options) (*Report, error) {
+	r, ok := registry[id]
+	if !ok {
+		return nil, fmt.Errorf("exp: unknown experiment %q (have %v)", id, IDs())
+	}
+	return r(o)
+}
+
+// memIntensive is the benchmark subset used by the expensive parameter
+// sweeps (the paper's storage studies focus on the same kind of
+// memory-intensive applications).
+var memIntensive = []string{
+	"applu", "art", "em3d", "equake", "facerec", "lucas", "mcf", "mgrid", "swim", "wupwise",
+}
+
+// timingParams builds the per-benchmark core parameters.
+func timingParams(p workload.Preset) cpu.Params {
+	cp := cpu.DefaultParams()
+	cp.BranchMPKI = p.BranchMPKI
+	return cp
+}
+
+var (
+	instrCacheMu sync.Mutex
+	instrCache   = map[string]uint64{}
+)
+
+// totalInstrs counts the committed instructions of a preset's stream
+// (cached: generators are deterministic).
+func totalInstrs(p workload.Preset, o Options) uint64 {
+	key := fmt.Sprintf("%s|%d|%d", p.Name, o.Scale, o.seed())
+	instrCacheMu.Lock()
+	v, ok := instrCache[key]
+	instrCacheMu.Unlock()
+	if ok {
+		return v
+	}
+	var st trace.Stats
+	src := p.Source(o.Scale, o.seed())
+	for {
+		r, ok := src.Next()
+		if !ok {
+			break
+		}
+		st.Observe(r)
+	}
+	instrCacheMu.Lock()
+	instrCache[key] = st.Instrs
+	instrCacheMu.Unlock()
+	return st.Instrs
+}
+
+// runTiming executes one timing run for a preset. The first 30% of
+// instructions are detailed warm-up (predictor training), mirroring the
+// paper's SMARTS warm-up-then-measure methodology; speedup comparisons use
+// Result.MeasuredCycles.
+func runTiming(p workload.Preset, o Options, pf sim.Prefetcher, params cpu.Params, l1, l2 cache.Config) (cpu.Result, error) {
+	params.WarmupInstrs = totalInstrs(p, o) * 30 / 100
+	e, err := cpu.NewEngine(params, l1, l2)
+	if err != nil {
+		return cpu.Result{}, err
+	}
+	return e.Run(p.Source(o.Scale, o.seed()), pf), nil
+}
+
+// geoMeanSpeedups folds per-benchmark percent improvements into the
+// paper's mean (Table 3 reports arithmetic means of percent improvements).
+func meanSpeedup(vals []float64) float64 { return stats.Mean(vals) }

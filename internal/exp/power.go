@@ -1,0 +1,40 @@
+package exp
+
+import (
+	"fmt"
+
+	"repro/internal/power"
+	"repro/internal/textplot"
+)
+
+func init() { register("power", runPower) }
+
+// runPower reproduces the Section 5.9 power analysis: dynamic energy per
+// access and leakage of the LT-cords on-chip structures versus the L1D,
+// using the analytical CACTI-4.2-like model calibrated to the paper's 70nm
+// anchor values.
+func runPower(o Options) (*Report, error) {
+	m := power.Default70nm()
+	c := power.Compare(m, 0.20) // the paper's conservative 20% L1D miss rate
+
+	tab := textplot.NewTable("quantity", "model", "paper")
+	tab.AddRow("L1D full access (4-port, parallel)", fmt.Sprintf("%.1f pJ", c.L1DAccessPJ), "~73 pJ")
+	tab.AddRow("L1D data-array block read", fmt.Sprintf("%.1f pJ", c.L1DBlockReadPJ), "~18 pJ")
+	tab.AddRow("signature data read", fmt.Sprintf("%.1f pJ", c.SigReadPJ), "< 6 pJ")
+	tab.AddRow("serial seq-tag + sig-cache lookup", fmt.Sprintf("%.1f pJ", c.SerialLookupPJ), "~30 pJ")
+	tab.AddRow("LT-cords energy per L1D access (20% miss)", fmt.Sprintf("%.1f pJ", c.LTCordsPerAccess), "~31 pJ")
+	tab.AddRow("dynamic power ratio LT-cords / L1D", textplot.Pct(c.RatioDynamic), "~48%")
+	tab.AddRow("L1D leakage", fmt.Sprintf("%.0f mW", c.L1DLeakMW), "~230 mW")
+	tab.AddRow("LT-cords leakage (same transistors)", fmt.Sprintf("%.0f mW", c.LTCordsLeakSameVtMW), "~800 mW")
+	tab.AddRow("LT-cords leakage (high-Vt/long-channel)", fmt.Sprintf("%.0f mW", c.LTCordsLeakHighVtMW), "(reduced ~10x)")
+
+	rep := &Report{
+		ID:    "power",
+		Title: "Section 5.9 power comparison: LT-cords structures vs L1D (70nm analytical model)",
+	}
+	rep.AddSection("", tab)
+	rep.Notes = append(rep.Notes,
+		"the serial tag-then-data lookup and the narrow (42-bit) data path keep LT-cords' dynamic power at roughly half the L1D's despite the larger arrays",
+		"leakage exceeds the L1D with identical transistors; off-critical-path timing allows high-Vt devices that reverse the comparison")
+	return rep, nil
+}

@@ -1,0 +1,205 @@
+// Package history implements the last-touch history table of the paper's
+// Section 4.1, shared by DBCP and LT-cords.
+//
+// The table is "organized like the L1D tag array": one entry per cache line
+// (set x way), mirroring the cache's resident tags. Each entry maintains:
+//
+//   - a running hash of the program counters of the committed memory
+//     instructions that accessed the resident block since it was filled
+//     (DBCP's instruction trace {PCi, PCj, PCk} of Figure 1), and
+//   - the tag of the line's previous occupant (the address history {A1, A2}
+//     of Figure 1: A1 is the block the current occupant A2 replaced).
+//
+// A last-touch signature hashes the PC trace with the previous tag and the
+// occupant's own tag.
+//
+// The key invariant predictors rely on: when an access sequence recurs, the
+// signature computed at the last touch of a block (returned as curSig by
+// Access) equals the signature computed when that block is finally evicted
+// (returned as evictSig by the displacing Access or PrefetchFill), because
+// both hash the same trace — the PCs up to and including the last touch —
+// and the same tag pair. Evictions of *other* lines in the set do not
+// disturb it, which is what per-line (rather than per-set) traces buy.
+package history
+
+import "repro/internal/mem"
+
+// Signature is a last-touch signature. Trace-driven simulation uses the full
+// 32 bits (the paper: "we use 32-bit last-touch signatures to minimize the
+// effects of hash collisions"); the timing configuration narrows it with
+// Truncate.
+type Signature uint32
+
+// Truncate keeps the low n bits of the signature (the paper's cycle-accurate
+// configuration uses a 23-bit last-touch history trace).
+func (s Signature) Truncate(n uint) Signature {
+	if n >= 32 {
+		return s
+	}
+	return s & (1<<n - 1)
+}
+
+// mix32 is a Murmur3-style finalizer: a cheap, well-distributed 32-bit hash.
+func mix32(x uint32) uint32 {
+	x ^= x >> 16
+	x *= 0x85EBCA6B
+	x ^= x >> 13
+	x *= 0xC2B2AE35
+	x ^= x >> 16
+	return x
+}
+
+// fold64 reduces a 64-bit value to 32 bits with mixing.
+func fold64(x uint64) uint32 {
+	x ^= x >> 33
+	x *= 0xFF51AFD7ED558CCD
+	x ^= x >> 33
+	return uint32(x) ^ uint32(x>>32)
+}
+
+type lineEntry struct {
+	tag      mem.Addr
+	prevTag  mem.Addr
+	pcHash   uint32
+	valid    bool
+	havePrev bool
+}
+
+// signature hashes the line's PC trace with its address history. The set
+// index participates so that blocks with equal tags in different sets (the
+// tag repeats every sets*blockSize bytes) produce distinct signatures: DBCP
+// correlates full block addresses, and (set, tag) identifies the block.
+func (e *lineEntry) signature(setIdx int) Signature {
+	h := mix32(e.pcHash)
+	if e.havePrev {
+		h ^= fold64(uint64(e.prevTag))*0x9E3779B9 + 0x7F4A7C15
+	}
+	h ^= mix32(fold64(uint64(e.tag)) + 0x165667B1)
+	h ^= mix32(uint32(setIdx)*0x27D4EB2F + 0x61C88647)
+	return Signature(h)
+}
+
+// Table is the history table: a tag-array mirror with per-line trace state.
+type Table struct {
+	lines []lineEntry
+	assoc int
+	sets  int
+}
+
+// New creates a history table mirroring a cache with the given geometry.
+func New(sets, assoc int) *Table {
+	return &Table{lines: make([]lineEntry, sets*assoc), assoc: assoc, sets: sets}
+}
+
+// Sets returns the number of sets.
+func (t *Table) Sets() int { return t.sets }
+
+// Assoc returns the ways per set.
+func (t *Table) Assoc() int { return t.assoc }
+
+func (t *Table) set(idx int) []lineEntry {
+	base := idx * t.assoc
+	return t.lines[base : base+t.assoc]
+}
+
+func find(set []lineEntry, tag mem.Addr) int {
+	for w := range set {
+		if set[w].valid && set[w].tag == tag {
+			return w
+		}
+	}
+	return -1
+}
+
+// install places newTag into the way previously holding victimTag (or an
+// invalid way), returning the victim's eviction signature when a valid line
+// was displaced.
+func (t *Table) install(setIdx int, set []lineEntry, newTag, victimTag mem.Addr, hasVictim bool) (Signature, bool) {
+	w := -1
+	if hasVictim {
+		w = find(set, victimTag)
+	}
+	if w < 0 {
+		for i := range set {
+			if !set[i].valid {
+				w = i
+				break
+			}
+		}
+	}
+	if w < 0 {
+		// Mirror divergence (should not happen with a consistent driver):
+		// reuse way 0 without producing a signature for its occupant.
+		w = 0
+		set[w] = lineEntry{tag: newTag, valid: true, prevTag: set[w].tag, havePrev: set[w].valid}
+		return 0, false
+	}
+	var evictSig Signature
+	evictOK := false
+	prev := mem.Addr(0)
+	havePrev := false
+	if set[w].valid {
+		evictSig = set[w].signature(setIdx)
+		evictOK = hasVictim && set[w].tag == victimTag
+		prev, havePrev = set[w].tag, true
+	}
+	set[w] = lineEntry{tag: newTag, valid: true, prevTag: prev, havePrev: havePrev}
+	return evictSig, evictOK
+}
+
+// Access processes one committed access by instruction pc to the block with
+// the given set and tag. For a miss that displaced a block, pass the
+// displaced tag with hasEvicted=true (an invalid-fill miss passes false).
+// It returns the displaced block's last-touch signature (evictOK reports
+// whether one was produced) and the current access's signature — a
+// candidate last-touch signature for the accessed block.
+func (t *Table) Access(setIdx int, tag, pc mem.Addr, evictedTag mem.Addr, hasEvicted bool) (evictSig Signature, evictOK bool, curSig Signature) {
+	set := t.set(setIdx)
+	w := find(set, tag)
+	if w < 0 {
+		// Miss: install over the evicted way (trace starts fresh).
+		evictSig, evictOK = t.install(setIdx, set, tag, evictedTag, hasEvicted)
+		w = find(set, tag)
+	}
+	e := &set[w]
+	// Rotate-then-xor keeps the hash order-sensitive: traces {PCi,PCj} and
+	// {PCj,PCi} produce different signatures.
+	e.pcHash = (e.pcHash<<5 | e.pcHash>>27) ^ fold64(uint64(pc))
+	return evictSig, evictOK, e.signature(setIdx)
+}
+
+// PrefetchFill installs a prefetched block into the set, displacing
+// victimTag when hasVictim (dead-block replacement). The displaced block's
+// last-touch signature is returned; the new line's trace starts empty, so
+// its first demand access contributes the first PC — exactly as a
+// demand-filled line would have.
+func (t *Table) PrefetchFill(setIdx int, tag mem.Addr, victimTag mem.Addr, hasVictim bool) (Signature, bool) {
+	return t.install(setIdx, t.set(setIdx), tag, victimTag, hasVictim)
+}
+
+// PeekSig returns the current signature of the line holding tag, if any
+// (used by tests and diagnostics).
+func (t *Table) PeekSig(setIdx int, tag mem.Addr) (Signature, bool) {
+	set := t.set(setIdx)
+	w := find(set, tag)
+	if w < 0 {
+		return 0, false
+	}
+	return set[w].signature(setIdx), true
+}
+
+// Reset clears all entries (a predictor state wipe).
+func (t *Table) Reset() {
+	for i := range t.lines {
+		t.lines[i] = lineEntry{}
+	}
+}
+
+// SizeBytes estimates the on-chip storage of the table: per line, a 23-bit
+// trace hash plus a 15-bit previous tag (the Section 5.6 encoding widths),
+// rounded up to whole bytes per entry. The resident tag itself is free —
+// it mirrors the cache's existing tag array.
+func (t *Table) SizeBytes() int {
+	bitsPerEntry := 23 + 15
+	return (bitsPerEntry + 7) / 8 * len(t.lines)
+}

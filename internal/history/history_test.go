@@ -1,0 +1,232 @@
+package history
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mem"
+)
+
+func TestTruncate(t *testing.T) {
+	s := Signature(0xFFFFFFFF)
+	if s.Truncate(23) != 0x7FFFFF {
+		t.Errorf("Truncate(23) = %#x", s.Truncate(23))
+	}
+	if s.Truncate(32) != s || s.Truncate(40) != s {
+		t.Error("Truncate >= 32 must be identity")
+	}
+}
+
+// The central invariant: the signature seen at a block's last touch equals
+// the signature produced when the block is evicted, even with intervening
+// evictions of other lines in the set.
+func TestLastTouchSignatureMatchesEvictionSignature(t *testing.T) {
+	tab := New(4, 2)
+	set := 1
+	// Fill block A (tag 0xA) over nothing, then block B (tag 0xB).
+	_, _, _ = tab.Access(set, 0xA, 0x100, 0, false)
+	_, _, _ = tab.Access(set, 0xB, 0x104, 0, false)
+	// Touch A twice more; the last of these is A's last touch.
+	_, _, _ = tab.Access(set, 0xA, 0x108, 0, false)
+	_, _, lastTouchSig := tab.Access(set, 0xA, 0x10C, 0, false)
+	// B is evicted by C (intervening eviction in the same set).
+	_, _, _ = tab.Access(set, 0xC, 0x110, 0xB, true)
+	// Now A is evicted by D: its eviction signature must match the one
+	// observed at its last touch.
+	evictSig, ok, _ := tab.Access(set, 0xD, 0x114, 0xA, true)
+	if !ok {
+		t.Fatal("eviction signature not produced")
+	}
+	if evictSig != lastTouchSig {
+		t.Errorf("eviction sig %#x != last-touch sig %#x", evictSig, lastTouchSig)
+	}
+}
+
+// Recurring episodes produce identical signatures: fill-touch-evict the
+// same block with the same PCs and same predecessor twice.
+func TestRecurringEpisodeSignature(t *testing.T) {
+	tab := New(2, 1) // direct mapped: every fill evicts the occupant
+	episode := func(prev, cur mem.Addr) Signature {
+		// cur fills over prev, is touched by two PCs, then evicted by prev
+		// (the roles alternate).
+		_, _, _ = tab.Access(0, cur, 0x40, prev, true)
+		_, _, sig := tab.Access(0, cur, 0x44, 0, false)
+		return sig
+	}
+	_, _, _ = tab.Access(0, 0xAAA, 0x40, 0, false) // warm: 0xAAA resident
+	s1 := episode(0xAAA, 0xBBB)
+	s2 := episode(0xBBB, 0xAAA)
+	s3 := episode(0xAAA, 0xBBB)
+	s4 := episode(0xBBB, 0xAAA)
+	if s1 != s3 || s2 != s4 {
+		t.Errorf("recurring episodes differ: %#x/%#x and %#x/%#x", s1, s3, s2, s4)
+	}
+	if s1 == s2 {
+		t.Error("different blocks should give different signatures")
+	}
+}
+
+// The stream scenario that motivated per-line traces: single-PC streaming
+// through a 2-way set, where every block's last touch is its fill and
+// another eviction always intervenes before its own eviction.
+func TestStreamingEpisodesMatch(t *testing.T) {
+	tab := New(8, 2)
+	set := 3
+	pc := mem.Addr(0x400)
+	// Stream tags 1,2,3,...: tag k evicts tag k-2 (LRU order).
+	lastTouch := map[mem.Addr]Signature{}
+	_, _, s1 := tab.Access(set, 1, pc, 0, false)
+	lastTouch[1] = s1
+	_, _, s2 := tab.Access(set, 2, pc, 0, false)
+	lastTouch[2] = s2
+	for k := mem.Addr(3); k < 40; k++ {
+		evictSig, ok, cur := tab.Access(set, k, pc, k-2, true)
+		if !ok {
+			t.Fatalf("tag %d: no eviction signature", k)
+		}
+		if want := lastTouch[k-2]; evictSig != want {
+			t.Fatalf("tag %d evicted: sig %#x != last-touch sig %#x", k-2, evictSig, want)
+		}
+		lastTouch[k] = cur
+	}
+}
+
+// PrefetchFill must close the victim's episode with the same signature a
+// demand eviction would produce, and the prefetched line's first demand
+// access must look like a demand-filled line's first access.
+func TestPrefetchFillEquivalence(t *testing.T) {
+	// Path A: demand-driven. B evicts A on a miss.
+	a := New(2, 1)
+	_, _, _ = a.Access(0, 0xA, 0x10, 0, false)
+	_, _, lastA := a.Access(0, 0xA, 0x14, 0, false)
+	evictA, okA, curB := a.Access(0, 0xB, 0x18, 0xA, true)
+
+	// Path B: prefetch-driven. B is prefetched over A (at A's last touch),
+	// then the demand access to B hits.
+	b := New(2, 1)
+	_, _, _ = b.Access(0, 0xA, 0x10, 0, false)
+	_, _, lastB := b.Access(0, 0xA, 0x14, 0, false)
+	evictB, okB := b.PrefetchFill(0, 0xB, 0xA, true)
+	_, _, curB2 := b.Access(0, 0xB, 0x18, 0, false)
+
+	if lastA != lastB {
+		t.Fatal("setup mismatch")
+	}
+	if !okA || !okB || evictA != evictB {
+		t.Errorf("eviction sigs differ: demand %#x(%v) prefetch %#x(%v)", evictA, okA, evictB, okB)
+	}
+	if evictA != lastA {
+		t.Errorf("eviction sig %#x != last touch sig %#x", evictA, lastA)
+	}
+	if curB != curB2 {
+		t.Errorf("first access to B differs: demand-fill %#x prefetch-fill %#x", curB, curB2)
+	}
+}
+
+func TestColdFillProducesNoEvictionSig(t *testing.T) {
+	tab := New(2, 2)
+	_, ok, _ := tab.Access(0, 0xA, 0x10, 0, false)
+	if ok {
+		t.Error("cold fill must not produce an eviction signature")
+	}
+	_, ok = tab.PrefetchFill(0, 0xB, 0, false)
+	if ok {
+		t.Error("cold prefetch fill must not produce an eviction signature")
+	}
+}
+
+func TestPCOrderSensitivity(t *testing.T) {
+	a := New(1, 1)
+	_, _, _ = a.Access(0, 0x5, 0x10, 0, false)
+	_, _, sa := a.Access(0, 0x5, 0x20, 0, false)
+	b := New(1, 1)
+	_, _, _ = b.Access(0, 0x5, 0x20, 0, false)
+	_, _, sb := b.Access(0, 0x5, 0x10, 0, false)
+	if sa == sb {
+		t.Error("PC order must affect the signature")
+	}
+}
+
+func TestPrevTagAffectsSignature(t *testing.T) {
+	a := New(1, 1)
+	_, _, _ = a.Access(0, 0x1, 0x10, 0, false)
+	_, _, sa := a.Access(0, 0x5, 0x10, 0x1, true)
+	b := New(1, 1)
+	_, _, _ = b.Access(0, 0x2, 0x10, 0, false)
+	_, _, sb := b.Access(0, 0x5, 0x10, 0x2, true)
+	if sa == sb {
+		t.Error("previous occupant tag must affect the signature")
+	}
+}
+
+func TestPeekSig(t *testing.T) {
+	tab := New(2, 2)
+	_, _, cur := tab.Access(1, 0x9, 0x44, 0, false)
+	got, ok := tab.PeekSig(1, 0x9)
+	if !ok || got != cur {
+		t.Errorf("PeekSig = %#x,%v want %#x,true", got, ok, cur)
+	}
+	if _, ok := tab.PeekSig(1, 0x7); ok {
+		t.Error("PeekSig of absent tag must fail")
+	}
+}
+
+func TestReset(t *testing.T) {
+	tab := New(2, 2)
+	_, _, _ = tab.Access(0, 0x1, 0x2, 0, false)
+	tab.Reset()
+	if _, ok := tab.PeekSig(0, 0x1); ok {
+		t.Error("Reset did not clear entries")
+	}
+}
+
+func TestSizeBytes(t *testing.T) {
+	tab := New(512, 2)
+	// 38 bits -> 5 bytes per line, 1024 lines.
+	if got := tab.SizeBytes(); got != 5*1024 {
+		t.Errorf("SizeBytes = %d want %d", got, 5*1024)
+	}
+}
+
+// Property: signatures are deterministic functions of the access history.
+func TestDeterminismQuick(t *testing.T) {
+	f := func(pcs []uint32, tag uint16) bool {
+		run := func() Signature {
+			tab := New(2, 2)
+			var sig Signature
+			for _, pc := range pcs {
+				_, _, sig = tab.Access(1, mem.Addr(tag), mem.Addr(pc), 0, false)
+			}
+			return sig
+		}
+		return len(pcs) == 0 || run() == run()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Weak collision check: distinct tags under the same trace rarely collide.
+func TestTagSeparation(t *testing.T) {
+	seen := map[Signature]mem.Addr{}
+	collisions := 0
+	for tag := mem.Addr(0); tag < 4096; tag++ {
+		tab := New(1, 1)
+		_, _, s := tab.Access(0, tag, 0x400, 0, false)
+		if prev, ok := seen[s]; ok && prev != tag {
+			collisions++
+		}
+		seen[s] = tag
+	}
+	if collisions > 2 {
+		t.Errorf("%d signature collisions across 4096 tags", collisions)
+	}
+}
+
+func BenchmarkAccess(b *testing.B) {
+	tab := New(512, 2)
+	for i := 0; i < b.N; i++ {
+		set := i & 511
+		tab.Access(set, mem.Addr(i&1023), mem.Addr(i), 0, false)
+	}
+}

@@ -1,0 +1,138 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestLog2(t *testing.T) {
+	cases := []struct {
+		in   int
+		want uint
+		ok   bool
+	}{
+		{1, 0, true},
+		{2, 1, true},
+		{4, 2, true},
+		{64, 6, true},
+		{1 << 20, 20, true},
+		{0, 0, false},
+		{-8, 0, false},
+		{3, 0, false},
+		{96, 0, false},
+	}
+	for _, c := range cases {
+		got, ok := Log2(c.in)
+		if ok != c.ok || got != c.want {
+			t.Errorf("Log2(%d) = %d,%v want %d,%v", c.in, got, ok, c.want, c.ok)
+		}
+	}
+}
+
+func TestNewGeometryRejectsNonPowers(t *testing.T) {
+	if _, err := NewGeometry(48, 64); err == nil {
+		t.Error("want error for non-power-of-two block size")
+	}
+	if _, err := NewGeometry(64, 0); err == nil {
+		t.Error("want error for zero sets")
+	}
+	if _, err := NewGeometry(64, 3); err == nil {
+		t.Error("want error for non-power-of-two sets")
+	}
+}
+
+func TestMustGeometryPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustGeometry(3, 4) did not panic")
+		}
+	}()
+	MustGeometry(3, 4)
+}
+
+func TestGeometrySplits(t *testing.T) {
+	g := MustGeometry(64, 512) // 6 block bits, 9 set bits
+	if g.BlockBits() != 6 || g.SetBits() != 9 {
+		t.Fatalf("bits = %d,%d want 6,9", g.BlockBits(), g.SetBits())
+	}
+	a := Addr(0xDEADBEEF)
+	if got := g.BlockAddr(a); got != 0xDEADBEC0 {
+		t.Errorf("BlockAddr = %#x want 0xDEADBEC0", got)
+	}
+	if got := g.Index(a); got != int((0xDEADBEEF>>6)&511) {
+		t.Errorf("Index = %d", got)
+	}
+	if got := g.Tag(a); got != 0xDEADBEEF>>15 {
+		t.Errorf("Tag = %#x", got)
+	}
+}
+
+func TestGeometryDirectMapped(t *testing.T) {
+	// A 1-set geometry: index is always zero, tag is the block number.
+	g := MustGeometry(64, 1)
+	a := Addr(0x12345678)
+	if g.Index(a) != 0 {
+		t.Errorf("Index = %d want 0", g.Index(a))
+	}
+	if g.Tag(a) != a>>6 {
+		t.Errorf("Tag = %#x want %#x", g.Tag(a), a>>6)
+	}
+}
+
+// Property: Rebuild is the left inverse of (Tag, Index) on block-aligned
+// addresses, for a representative set of geometries.
+func TestRebuildRoundTrip(t *testing.T) {
+	geos := []Geometry{
+		MustGeometry(64, 512),
+		MustGeometry(32, 1),
+		MustGeometry(128, 4096),
+		MustGeometry(64, 2048),
+	}
+	f := func(raw uint64) bool {
+		for _, g := range geos {
+			a := g.BlockAddr(Addr(raw))
+			if g.Rebuild(g.Tag(a), g.Index(a)) != a {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: BlockAddr is idempotent and never increases the address.
+func TestBlockAddrProperties(t *testing.T) {
+	g := MustGeometry(64, 1024)
+	f := func(raw uint64) bool {
+		a := Addr(raw)
+		b := g.BlockAddr(a)
+		return b <= a && g.BlockAddr(b) == b && a-b < Addr(g.BlockSize())
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: BlockNumber is consistent with BlockAddr.
+func TestBlockNumberProperty(t *testing.T) {
+	g := MustGeometry(64, 256)
+	f := func(raw uint64) bool {
+		a := Addr(raw)
+		return g.BlockNumber(a)<<g.BlockBits() == g.BlockAddr(a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkGeometryIndexTag(b *testing.B) {
+	g := MustGeometry(64, 512)
+	var sink Addr
+	for i := 0; i < b.N; i++ {
+		a := Addr(i) * 6151
+		sink += Addr(g.Index(a)) + g.Tag(a)
+	}
+	_ = sink
+}

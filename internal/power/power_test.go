@@ -1,0 +1,111 @@
+package power
+
+import (
+	"math"
+	"testing"
+)
+
+func TestAnchorsNearPaperValues(t *testing.T) {
+	m := Default70nm()
+	c := Compare(m, 0.20)
+	t.Logf("L1D access=%.1fpJ blockread=%.1fpJ sigread=%.1fpJ serial=%.1fpJ ratio=%.2f", c.L1DAccessPJ, c.L1DBlockReadPJ, c.SigReadPJ, c.SerialLookupPJ, c.RatioDynamic)
+	t.Logf("leak: L1D=%.0fmW LT(sameVt)=%.0fmW LT(highVt)=%.0fmW", c.L1DLeakMW, c.LTCordsLeakSameVtMW, c.LTCordsLeakHighVtMW)
+
+	// Paper anchors: 73pJ, 18pJ, <6pJ, ~30pJ, ~48% dynamic ratio,
+	// 230mW / 800mW leakage.
+	within := func(got, want, tol float64) bool {
+		return math.Abs(got-want) <= tol
+	}
+	if !within(c.L1DAccessPJ, 73, 12) {
+		t.Errorf("L1D access %.1fpJ want ~73", c.L1DAccessPJ)
+	}
+	if !within(c.L1DBlockReadPJ, 18, 4) {
+		t.Errorf("block read %.1fpJ want ~18", c.L1DBlockReadPJ)
+	}
+	if c.SigReadPJ >= 6 {
+		t.Errorf("signature read %.1fpJ want < 6", c.SigReadPJ)
+	}
+	if !within(c.SerialLookupPJ, 30, 6) {
+		t.Errorf("serial lookup %.1fpJ want ~30", c.SerialLookupPJ)
+	}
+	if c.RatioDynamic < 0.35 || c.RatioDynamic > 0.60 {
+		t.Errorf("dynamic ratio %.2f want ~0.48", c.RatioDynamic)
+	}
+	if !within(c.L1DLeakMW, 230, 25) {
+		t.Errorf("L1D leakage %.0fmW want ~230", c.L1DLeakMW)
+	}
+	if !within(c.LTCordsLeakSameVtMW, 800, 80) {
+		t.Errorf("same-Vt LT leakage %.0fmW want ~800", c.LTCordsLeakSameVtMW)
+	}
+	if c.LTCordsLeakHighVtMW > c.L1DLeakMW {
+		t.Errorf("high-Vt LT leakage %.0fmW should undercut the L1D's %.0fmW", c.LTCordsLeakHighVtMW, c.L1DLeakMW)
+	}
+}
+
+func TestEnergyMonotonicity(t *testing.T) {
+	m := Default70nm()
+	small := Structure{Bytes: 16 * 1024, Assoc: 2, Ports: 1, DataBits: 512}
+	big := small
+	big.Bytes = 256 * 1024
+	if m.DataEnergyPJ(big) <= m.DataEnergyPJ(small) {
+		t.Error("bigger arrays must cost more energy")
+	}
+	multi := small
+	multi.Ports = 4
+	if m.AccessEnergyPJ(multi, 1) <= m.AccessEnergyPJ(small, 1) {
+		t.Error("more ports must cost more energy")
+	}
+	serial := small
+	serial.Serial = true
+	if m.DataEnergyPJ(serial) >= m.DataEnergyPJ(small) {
+		t.Error("serial lookup reads one way and must be cheaper")
+	}
+}
+
+func TestAccessEnergyDataFractionClamps(t *testing.T) {
+	m := Default70nm()
+	s := Structure{Bytes: 64 * 1024, Assoc: 2, Ports: 1, DataBits: 64, Serial: true}
+	lo := m.AccessEnergyPJ(s, -1)
+	hi := m.AccessEnergyPJ(s, 9)
+	if lo != m.TagEnergyPJ(s) {
+		t.Error("negative fraction must clamp to tag-only")
+	}
+	if hi != m.TagEnergyPJ(s)+m.DataEnergyPJ(s) {
+		t.Error("fraction above 1 must clamp")
+	}
+	// Parallel structures always read data.
+	p := s
+	p.Serial = false
+	if m.AccessEnergyPJ(p, 0) != m.TagEnergyPJ(p)+m.DataEnergyPJ(p) {
+		t.Error("parallel access must include the data read")
+	}
+}
+
+func TestLeakageHighVt(t *testing.T) {
+	m := Default70nm()
+	s := Structure{Bytes: 100 * 1024}
+	hv := s
+	hv.HighVt = true
+	if m.LeakageMW(hv)*m.LeakHighVtFactor != m.LeakageMW(s) {
+		t.Error("high-Vt leakage factor wrong")
+	}
+}
+
+func TestAvgPower(t *testing.T) {
+	m := Default70nm()
+	s := PaperSigCache()
+	// 4GHz access rate, tag-only path.
+	p := m.AvgPowerMW(s, 0, 4e9)
+	want := m.TagEnergyPJ(s) * 4e9 * 1e-9
+	if math.Abs(p-want) > 1e-9 {
+		t.Errorf("AvgPowerMW = %v want %v", p, want)
+	}
+}
+
+func TestTinyStructureClamp(t *testing.T) {
+	m := Default70nm()
+	s := Structure{Bytes: 16, Assoc: 1, Ports: 1, DataBits: 8}
+	if m.DataEnergyPJ(s) <= 0 {
+		t.Error("tiny structures must still cost energy")
+	}
+}

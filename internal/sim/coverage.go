@@ -1,0 +1,243 @@
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/mem"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// CoverageConfig parameterizes a trace-driven coverage run.
+type CoverageConfig struct {
+	// L1 is the L1D configuration (default: PaperL1D).
+	L1 cache.Config
+	// L2 is the L2 configuration; WithL2 enables the second level so that
+	// off-chip (L2) miss elimination can be measured too.
+	L2     cache.Config
+	WithL2 bool
+	// DeadTimes, when non-nil, collects the shadow cache's eviction
+	// dead-times (instruction-clock delta between last touch and eviction)
+	// for the Figure 2 analysis.
+	DeadTimes *stats.Log2Histogram
+}
+
+// CtxCoverage is the per-context (per-program) classification used by the
+// multi-programmed experiments.
+type CtxCoverage struct {
+	Opportunity uint64 // base-system misses
+	Correct     uint64 // misses eliminated by the predictor
+	Incorrect   uint64 // misses with an active wrong prediction
+	Train       uint64 // misses with no confident prediction
+	Early       uint64 // extra misses induced by the predictor
+}
+
+// Coverage is the result of a coverage run.
+type Coverage struct {
+	Predictor string
+	Refs      uint64
+	Instrs    uint64
+
+	// L1-level classification, summed over contexts.
+	CtxCoverage
+	// PerCtx splits the classification by trace.Ref.Ctx (multi-programmed
+	// runs use contexts 0 and 1).
+	PerCtx [4]CtxCoverage
+
+	// MainL1Misses is the with-predictor L1 miss count.
+	MainL1Misses uint64
+	// Prefetches counts issued (inserted) prefetches.
+	Prefetches uint64
+	// L2 miss counts with and without the predictor (off-chip accesses),
+	// valid when the run was configured WithL2.
+	BaseL2Misses uint64
+	MainL2Misses uint64
+}
+
+// CoveragePct returns eliminated misses as a fraction of opportunity.
+func (c CtxCoverage) CoveragePct() float64 {
+	if c.Opportunity == 0 {
+		return 0
+	}
+	return float64(c.Correct) / float64(c.Opportunity)
+}
+
+// IncorrectPct returns wrongly predicted misses as a fraction of opportunity.
+func (c CtxCoverage) IncorrectPct() float64 {
+	if c.Opportunity == 0 {
+		return 0
+	}
+	return float64(c.Incorrect) / float64(c.Opportunity)
+}
+
+// TrainPct returns unpredicted misses as a fraction of opportunity.
+func (c CtxCoverage) TrainPct() float64 {
+	if c.Opportunity == 0 {
+		return 0
+	}
+	return float64(c.Train) / float64(c.Opportunity)
+}
+
+// EarlyPct returns predictor-induced misses as a fraction of opportunity
+// (plotted above 100% in the paper's Figure 8).
+func (c CtxCoverage) EarlyPct() float64 {
+	if c.Opportunity == 0 {
+		return 0
+	}
+	return float64(c.Early) / float64(c.Opportunity)
+}
+
+// L2CoveragePct returns the fraction of off-chip misses eliminated.
+func (c Coverage) L2CoveragePct() float64 {
+	if c.BaseL2Misses == 0 {
+		return 0
+	}
+	elim := float64(c.BaseL2Misses) - float64(c.MainL2Misses)
+	if elim < 0 {
+		elim = 0
+	}
+	return elim / float64(c.BaseL2Misses)
+}
+
+// RunCoverage drives src through an L1D with the predictor attached and a
+// shadow L1D without it, classifying every base-system miss.
+func RunCoverage(src trace.Source, pf Prefetcher, cfg CoverageConfig) (Coverage, error) {
+	if cfg.L1.Size == 0 {
+		cfg.L1 = PaperL1D()
+	}
+	main, err := cache.New(cfg.L1)
+	if err != nil {
+		return Coverage{}, fmt.Errorf("sim: main L1: %w", err)
+	}
+	shadowCfg := cfg.L1
+	shadowCfg.Name = cfg.L1.Name + "-shadow"
+	shadow, err := cache.New(shadowCfg)
+	if err != nil {
+		return Coverage{}, fmt.Errorf("sim: shadow L1: %w", err)
+	}
+	var mainL2, shadowL2 *cache.Cache
+	if cfg.WithL2 {
+		if cfg.L2.Size == 0 {
+			cfg.L2 = PaperL2()
+		}
+		if mainL2, err = cache.New(cfg.L2); err != nil {
+			return Coverage{}, fmt.Errorf("sim: main L2: %w", err)
+		}
+		sl2 := cfg.L2
+		sl2.Name += "-shadow"
+		if shadowL2, err = cache.New(sl2); err != nil {
+			return Coverage{}, fmt.Errorf("sim: shadow L2: %w", err)
+		}
+	}
+
+	geo := main.Geometry()
+	early, _ := pf.(EarlyEvictionObserver)
+	filler, _ := pf.(PrefetchFillObserver)
+
+	// pending[set] records the most recent predicted replacement block for
+	// the set, to distinguish incorrect from train on a miss.
+	pending := make(map[int]mem.Addr, 1024)
+
+	cov := Coverage{Predictor: pf.Name()}
+	var now uint64
+	for {
+		ref, ok := src.Next()
+		if !ok {
+			break
+		}
+		now += uint64(ref.Gap) + 1
+		cov.Refs++
+		write := ref.Kind == trace.Store
+		block := geo.BlockAddr(ref.Addr)
+		set := geo.Index(ref.Addr)
+		ctx := ref.Ctx & 3
+
+		sres := shadow.Access(ref.Addr, write, now)
+		if cfg.DeadTimes != nil && sres.Evicted.Valid {
+			cfg.DeadTimes.Add(sres.Evicted.DeadTime)
+		}
+		if cfg.WithL2 && !sres.Hit {
+			shadowL2.Access(ref.Addr, write, now)
+		}
+
+		mres := main.Access(ref.Addr, write, now)
+		if cfg.WithL2 && !mres.Hit {
+			mainL2.Access(ref.Addr, write, now)
+		}
+
+		// Classification against the base system.
+		if !sres.Hit {
+			cov.Opportunity++
+			cov.PerCtx[ctx].Opportunity++
+			switch {
+			case mres.Hit:
+				cov.Correct++
+				cov.PerCtx[ctx].Correct++
+			default:
+				if want, okp := pending[set]; okp && want != block {
+					cov.Incorrect++
+					cov.PerCtx[ctx].Incorrect++
+				} else {
+					cov.Train++
+					cov.PerCtx[ctx].Train++
+				}
+			}
+		} else if !mres.Hit {
+			// The base system hits but the predictor-equipped system
+			// misses: a premature eviction induced by the predictor.
+			cov.Early++
+			cov.PerCtx[ctx].Early++
+			if early != nil {
+				early.OnEarlyEviction(block)
+			}
+		}
+		if !mres.Hit {
+			delete(pending, set)
+		}
+
+		var evicted *cache.EvictInfo
+		if mres.Evicted.Valid {
+			evicted = &mres.Evicted
+		}
+		for _, p := range pf.OnAccess(ref, mres.Hit, evicted) {
+			pblock := geo.BlockAddr(p.Addr)
+			if pblock == block {
+				continue // fetching the block being accessed is pointless
+			}
+			if p.ToL2 {
+				// L2-targeted prefetch: fills the L2 only (no L1 effect in
+				// trace mode; the timing model charges the latency win).
+				if cfg.WithL2 {
+					cov.Prefetches++
+					mainL2.InsertPrefetch(pblock, 0, false, now)
+				}
+				continue
+			}
+			if ev, inserted := main.InsertPrefetch(pblock, p.Victim, p.UseVictim, now); inserted {
+				cov.Prefetches++
+				pending[geo.Index(pblock)] = pblock
+				if filler != nil {
+					var ep *cache.EvictInfo
+					if ev.Valid {
+						ep = &ev
+					}
+					filler.OnPrefetchFill(pblock, ep)
+				}
+				if cfg.WithL2 {
+					// The prefetch is serviced through the L2; the fill is
+					// a prefetch insert so demand-miss accounting stays
+					// clean.
+					mainL2.InsertPrefetch(pblock, 0, false, now)
+				}
+			}
+		}
+	}
+	cov.Instrs = now
+	cov.MainL1Misses = main.Stats().Misses
+	if cfg.WithL2 {
+		cov.BaseL2Misses = shadowL2.Stats().Misses
+		cov.MainL2Misses = mainL2.Stats().Misses
+	}
+	return cov, nil
+}

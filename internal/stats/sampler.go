@@ -1,0 +1,59 @@
+package stats
+
+// Sampler implements SMARTS-style systematic sampling (Wunderlich et al.;
+// the paper uses SMARTS with checkpointing for its cycle-accurate runs:
+// 10M-instruction warm-up followed by a 10M-instruction measured region per
+// checkpoint). The sampler walks the instruction stream and classifies every
+// instruction as skipped, warming, or measured.
+//
+// Our synthetic workloads are small enough to simulate in full, so the
+// timing harness uses sampling only when asked to bound run time; the
+// semantics nevertheless mirror the paper's methodology.
+type Sampler struct {
+	// Period is the distance in instructions between the starts of
+	// consecutive sampling units. Zero disables sampling (everything is
+	// measured).
+	Period uint64
+	// Warmup is the number of instructions of detailed warm-up before each
+	// measured region.
+	Warmup uint64
+	// Measure is the length of each measured region in instructions.
+	Measure uint64
+
+	pos uint64
+}
+
+// Phase classifies an instruction within the sampling schedule.
+type Phase uint8
+
+const (
+	// Skip means the instruction is fast-forwarded (functional warming only).
+	Skip Phase = iota
+	// Warming means detailed simulation without measurement.
+	Warming
+	// Measured means detailed simulation with measurement.
+	Measured
+)
+
+// Next advances the sampler by n instructions and returns the phase of the
+// instruction at the start of the step. Callers typically advance by one
+// reference's instruction count at a time.
+func (s *Sampler) Next(n uint64) Phase {
+	if s.Period == 0 {
+		return Measured
+	}
+	off := s.pos % s.Period
+	s.pos += n
+	start := s.Period - s.Warmup - s.Measure
+	switch {
+	case off < start:
+		return Skip
+	case off < start+s.Warmup:
+		return Warming
+	default:
+		return Measured
+	}
+}
+
+// Reset rewinds the sampler to the beginning of its schedule.
+func (s *Sampler) Reset() { s.pos = 0 }

@@ -1,0 +1,218 @@
+// Package stats provides the statistical plumbing used by the experiment
+// harness: power-of-two histograms for CDFs (the paper plots dead-times,
+// correlation distances and sequence lengths on log2 axes), scalar
+// aggregates, confidence intervals, and a SMARTS-style systematic sampler.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"sort"
+)
+
+// Log2Histogram counts observations in power-of-two buckets:
+// bucket i holds values v with 2^(i-1) < v <= 2^i (bucket 0 holds v <= 1).
+// It matches the x-axes of the paper's Figures 2, 6, 7 and 9.
+type Log2Histogram struct {
+	counts []uint64
+	total  uint64
+}
+
+// NewLog2Histogram creates a histogram with the given number of buckets.
+// Values beyond the last bucket are clamped into it.
+func NewLog2Histogram(buckets int) *Log2Histogram {
+	if buckets < 1 {
+		buckets = 1
+	}
+	return &Log2Histogram{counts: make([]uint64, buckets)}
+}
+
+// bucketOf returns the bucket index for v: the smallest i with v <= 2^i.
+func (h *Log2Histogram) bucketOf(v uint64) int {
+	b := 0
+	if v > 1 {
+		b = bits.Len64(v - 1) // ceil(log2(v))
+	}
+	if b >= len(h.counts) {
+		b = len(h.counts) - 1
+	}
+	return b
+}
+
+// Add records one observation of value v.
+func (h *Log2Histogram) Add(v uint64) { h.AddN(v, 1) }
+
+// AddN records n observations of value v.
+func (h *Log2Histogram) AddN(v, n uint64) {
+	h.counts[h.bucketOf(v)] += n
+	h.total += n
+}
+
+// Total returns the number of observations.
+func (h *Log2Histogram) Total() uint64 { return h.total }
+
+// Buckets returns the number of buckets.
+func (h *Log2Histogram) Buckets() int { return len(h.counts) }
+
+// Count returns the raw count in bucket i.
+func (h *Log2Histogram) Count(i int) uint64 { return h.counts[i] }
+
+// UpperBound returns the inclusive upper bound of bucket i (2^i).
+func (h *Log2Histogram) UpperBound(i int) uint64 { return 1 << uint(i) }
+
+// CDF returns cumulative fractions per bucket: CDF()[i] is the fraction of
+// observations with value <= 2^i. An empty histogram returns all zeros.
+func (h *Log2Histogram) CDF() []float64 {
+	out := make([]float64, len(h.counts))
+	if h.total == 0 {
+		return out
+	}
+	var cum uint64
+	for i, c := range h.counts {
+		cum += c
+		out[i] = float64(cum) / float64(h.total)
+	}
+	return out
+}
+
+// FractionAbove returns the fraction of observations with value strictly
+// greater than threshold.
+func (h *Log2Histogram) FractionAbove(threshold uint64) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	var below uint64
+	for i, c := range h.counts {
+		if h.UpperBound(i) <= threshold {
+			below += c
+		}
+	}
+	return 1 - float64(below)/float64(h.total)
+}
+
+// Merge adds the counts of other into h. The histograms must have the same
+// number of buckets.
+func (h *Log2Histogram) Merge(other *Log2Histogram) error {
+	if len(h.counts) != len(other.counts) {
+		return fmt.Errorf("stats: cannot merge histograms with %d and %d buckets", len(h.counts), len(other.counts))
+	}
+	for i, c := range other.counts {
+		h.counts[i] += c
+	}
+	h.total += other.total
+	return nil
+}
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// GeoMean returns the geometric mean of xs. All values must be positive;
+// non-positive values are skipped.
+func GeoMean(xs []float64) float64 {
+	s, n := 0.0, 0
+	for _, x := range xs {
+		if x > 0 {
+			s += math.Log(x)
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return math.Exp(s / float64(n))
+}
+
+// HarmonicMean returns the harmonic mean of xs (positive values only).
+func HarmonicMean(xs []float64) float64 {
+	s, n := 0.0, 0
+	for _, x := range xs {
+		if x > 0 {
+			s += 1 / x
+			n++
+		}
+	}
+	if n == 0 || s == 0 {
+		return 0
+	}
+	return float64(n) / s
+}
+
+// StdDev returns the sample standard deviation of xs.
+func StdDev(xs []float64) float64 {
+	n := len(xs)
+	if n < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	s := 0.0
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return math.Sqrt(s / float64(n-1))
+}
+
+// Percentile returns the p-th percentile (0..100) of xs using linear
+// interpolation between order statistics. It copies and sorts xs.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	ys := append([]float64(nil), xs...)
+	sort.Float64s(ys)
+	if p <= 0 {
+		return ys[0]
+	}
+	if p >= 100 {
+		return ys[len(ys)-1]
+	}
+	rank := p / 100 * float64(len(ys)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return ys[lo]
+	}
+	frac := rank - float64(lo)
+	return ys[lo]*(1-frac) + ys[hi]*frac
+}
+
+// ConfidenceInterval95 returns the half-width of the 95% confidence interval
+// of the mean of xs under a normal approximation (1.96 * stderr). The paper
+// sizes its SMARTS samples to a 95% CI of +-3% on performance change.
+func ConfidenceInterval95(xs []float64) float64 {
+	n := len(xs)
+	if n < 2 {
+		return math.Inf(1)
+	}
+	return 1.96 * StdDev(xs) / math.Sqrt(float64(n))
+}
+
+// Ratio returns a/b, or 0 when b is 0. It keeps table-generation code free
+// of division-by-zero special cases.
+func Ratio(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return a / b
+}
+
+// PercentChange returns the percent improvement of measured over baseline,
+// e.g. baseline 100 cycles, measured 50 cycles -> +100% (twice as fast).
+// It follows the paper's Table 3 convention: percent performance improvement
+// of execution time ratios.
+func PercentChange(baselineCycles, measuredCycles float64) float64 {
+	if measuredCycles == 0 {
+		return 0
+	}
+	return (baselineCycles/measuredCycles - 1) * 100
+}

@@ -1,0 +1,128 @@
+// Package stride implements a classic per-PC stride prefetcher (Baer-Chen
+// style reference prediction table). GHB PC/DC subsumes it (paper Section
+// 5.7); it exists as an ablation baseline and as the simplest example of the
+// sim.Prefetcher interface.
+package stride
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/mem"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// Params configures the stride table.
+type Params struct {
+	// Entries is the direct-mapped table size (power of two).
+	Entries int
+	// Degree is the number of strides prefetched ahead on a confident hit.
+	Degree int
+	// ConfThresh is the confirmations needed before prefetching.
+	ConfThresh uint8
+}
+
+// DefaultParams returns a conventional 256-entry, degree-2 configuration.
+func DefaultParams() Params {
+	return Params{Entries: 256, Degree: 2, ConfThresh: 2}
+}
+
+type entry struct {
+	pc     mem.Addr
+	last   mem.Addr
+	stride int64
+	conf   uint8
+}
+
+// Stats counts stride predictor events.
+type Stats struct {
+	Hits       uint64 // table hits with matching stride
+	Prefetches uint64
+}
+
+// Predictor is the stride prefetcher; it implements sim.Prefetcher.
+type Predictor struct {
+	p     Params
+	geo   mem.Geometry
+	tab   []entry
+	stats Stats
+}
+
+var _ sim.Prefetcher = (*Predictor)(nil)
+
+// New builds a stride prefetcher attached to an L1D with the given
+// configuration.
+func New(l1 cache.Config, p Params) (*Predictor, error) {
+	if _, ok := mem.Log2(p.Entries); !ok {
+		return nil, fmt.Errorf("stride: Entries %d not a power of two", p.Entries)
+	}
+	if p.Degree < 1 {
+		return nil, fmt.Errorf("stride: Degree must be positive")
+	}
+	if err := l1.Validate(); err != nil {
+		return nil, err
+	}
+	geo, err := mem.NewGeometry(l1.BlockSize, l1.Sets())
+	if err != nil {
+		return nil, err
+	}
+	return &Predictor{p: p, geo: geo, tab: make([]entry, p.Entries)}, nil
+}
+
+// MustNew is New that panics on error.
+func MustNew(l1 cache.Config, p Params) *Predictor {
+	pr, err := New(l1, p)
+	if err != nil {
+		panic(err)
+	}
+	return pr
+}
+
+// Name implements sim.Prefetcher.
+func (pr *Predictor) Name() string { return "stride" }
+
+// Stats returns a copy of the counters.
+func (pr *Predictor) Stats() Stats { return pr.stats }
+
+// OnAccess implements sim.Prefetcher: classic reference-prediction-table
+// training on every access.
+func (pr *Predictor) OnAccess(ref trace.Ref, hit bool, evicted *cache.EvictInfo) []sim.Prediction {
+	e := &pr.tab[uint64(ref.PC>>2)&uint64(pr.p.Entries-1)]
+	if e.pc != ref.PC {
+		*e = entry{pc: ref.PC, last: ref.Addr}
+		return nil
+	}
+	s := int64(ref.Addr) - int64(e.last)
+	e.last = ref.Addr
+	if s == 0 {
+		return nil
+	}
+	if s == e.stride {
+		if e.conf < 3 {
+			e.conf++
+		}
+	} else {
+		e.stride = s
+		e.conf = 0
+		return nil
+	}
+	if e.conf < pr.p.ConfThresh {
+		return nil
+	}
+	pr.stats.Hits++
+	var preds []sim.Prediction
+	next := int64(ref.Addr)
+	lastBlock := pr.geo.BlockAddr(ref.Addr)
+	for i := 0; i < pr.p.Degree; i++ {
+		next += s
+		blk := pr.geo.BlockAddr(mem.Addr(next))
+		if blk == lastBlock {
+			continue // same cache block, nothing to fetch
+		}
+		lastBlock = blk
+		preds = append(preds, sim.Prediction{Addr: blk})
+		pr.stats.Prefetches++
+	}
+	return preds
+}

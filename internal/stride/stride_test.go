@@ -1,0 +1,88 @@
+package stride
+
+import (
+	"testing"
+
+	"repro/internal/mem"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(sim.PaperL1D(), Params{Entries: 100, Degree: 2}); err == nil {
+		t.Error("non-power-of-two entries must fail")
+	}
+	if _, err := New(sim.PaperL1D(), Params{Entries: 256, Degree: 0}); err == nil {
+		t.Error("zero degree must fail")
+	}
+	if MustNew(sim.PaperL1D(), DefaultParams()).Name() != "stride" {
+		t.Error("name")
+	}
+}
+
+func TestDetectsConstantStride(t *testing.T) {
+	pr := MustNew(sim.PaperL1D(), DefaultParams())
+	var preds []sim.Prediction
+	for i := 0; i < 6; i++ {
+		preds = pr.OnAccess(trace.Ref{PC: 0x40, Addr: mem.Addr(0x1000 + i*256)}, false, nil)
+	}
+	if len(preds) != 2 {
+		t.Fatalf("degree-2: got %d predictions", len(preds))
+	}
+	if preds[0].Addr != mem.Addr(0x1000+6*256) || preds[1].Addr != mem.Addr(0x1000+7*256) {
+		t.Errorf("predictions = %#x, %#x", preds[0].Addr, preds[1].Addr)
+	}
+}
+
+func TestSmallStrideWithinBlockSkipped(t *testing.T) {
+	pr := MustNew(sim.PaperL1D(), DefaultParams())
+	var preds []sim.Prediction
+	for i := 0; i < 6; i++ {
+		preds = pr.OnAccess(trace.Ref{PC: 0x40, Addr: mem.Addr(0x1000 + i*4)}, false, nil)
+	}
+	// Stride 4 far from the block edge: the next two strides stay inside
+	// the current 64B block, so no useful prefetch should be issued.
+	if len(preds) != 0 {
+		t.Errorf("intra-block stride produced %d predictions", len(preds))
+	}
+}
+
+func TestStrideChangeResetsConfidence(t *testing.T) {
+	pr := MustNew(sim.PaperL1D(), DefaultParams())
+	for i := 0; i < 5; i++ {
+		pr.OnAccess(trace.Ref{PC: 0x40, Addr: mem.Addr(0x1000 + i*128)}, false, nil)
+	}
+	// Break the pattern.
+	if preds := pr.OnAccess(trace.Ref{PC: 0x40, Addr: 0x90000}, false, nil); len(preds) != 0 {
+		t.Error("stride break must not predict")
+	}
+	// One confirmation is not enough to re-reach the threshold.
+	if preds := pr.OnAccess(trace.Ref{PC: 0x40, Addr: 0x90000 + 128}, false, nil); len(preds) != 0 {
+		t.Error("confidence must rebuild after a break")
+	}
+}
+
+func TestZeroStrideIgnored(t *testing.T) {
+	pr := MustNew(sim.PaperL1D(), DefaultParams())
+	for i := 0; i < 6; i++ {
+		if preds := pr.OnAccess(trace.Ref{PC: 0x40, Addr: 0x5000}, false, nil); len(preds) != 0 {
+			t.Fatal("repeated same-address accesses must not prefetch")
+		}
+	}
+}
+
+func TestCoversStream(t *testing.T) {
+	src := workload.StreamOnce(workload.StreamConfig{
+		Base: 0x100000, Bytes: 2 << 20, Stride: 64, Passes: 2, PCBase: 0x10,
+	})
+	pr := MustNew(sim.PaperL1D(), DefaultParams())
+	cov, err := sim.RunCoverage(src, pr, sim.CoverageConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("stream coverage = %.1f%%", cov.CoveragePct()*100)
+	if cov.CoveragePct() < 0.5 {
+		t.Errorf("stride coverage %.2f too low on unit-stride stream", cov.CoveragePct())
+	}
+}

@@ -1,0 +1,159 @@
+// Package textplot renders experiment results as aligned text tables, CSV,
+// and ASCII bar charts — the output format of cmd/ltexp and EXPERIMENTS.md.
+package textplot
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a simple column-aligned table.
+type Table struct {
+	headers []string
+	rows    [][]string
+}
+
+// NewTable creates a table with the given column headers.
+func NewTable(headers ...string) *Table {
+	return &Table{headers: headers}
+}
+
+// AddRow appends a row; missing cells render empty, extra cells are kept.
+func (t *Table) AddRow(cells ...string) {
+	t.rows = append(t.rows, cells)
+}
+
+// Rows returns the number of data rows.
+func (t *Table) Rows() int { return len(t.rows) }
+
+// Cell returns the cell at (row, col), or "" when absent.
+func (t *Table) Cell(row, col int) string {
+	if row < 0 || row >= len(t.rows) || col < 0 || col >= len(t.rows[row]) {
+		return ""
+	}
+	return t.rows[row][col]
+}
+
+func (t *Table) widths() []int {
+	n := len(t.headers)
+	for _, r := range t.rows {
+		if len(r) > n {
+			n = len(r)
+		}
+	}
+	w := make([]int, n)
+	for i, h := range t.headers {
+		if len(h) > w[i] {
+			w[i] = len(h)
+		}
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if len(c) > w[i] {
+				w[i] = len(c)
+			}
+		}
+	}
+	return w
+}
+
+// Render writes the aligned table.
+func (t *Table) Render(w io.Writer) {
+	ws := t.widths()
+	line := func(cells []string) {
+		parts := make([]string, len(ws))
+		for i := range ws {
+			c := ""
+			if i < len(cells) {
+				c = cells[i]
+			}
+			parts[i] = pad(c, ws[i])
+		}
+		fmt.Fprintln(w, strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	line(t.headers)
+	sep := make([]string, len(ws))
+	for i := range ws {
+		sep[i] = strings.Repeat("-", ws[i])
+	}
+	line(sep)
+	for _, r := range t.rows {
+		line(r)
+	}
+}
+
+// RenderCSV writes the table as CSV (simple quoting: cells containing
+// commas or quotes are quoted).
+func (t *Table) RenderCSV(w io.Writer) {
+	writeRow := func(cells []string) {
+		out := make([]string, len(cells))
+		for i, c := range cells {
+			if strings.ContainsAny(c, ",\"\n") {
+				c = "\"" + strings.ReplaceAll(c, "\"", "\"\"") + "\""
+			}
+			out[i] = c
+		}
+		fmt.Fprintln(w, strings.Join(out, ","))
+	}
+	writeRow(t.headers)
+	for _, r := range t.rows {
+		writeRow(r)
+	}
+}
+
+func pad(s string, n int) string {
+	if len(s) >= n {
+		return s
+	}
+	return s + strings.Repeat(" ", n-len(s))
+}
+
+// Pct formats a fraction as a percentage with one decimal.
+func Pct(x float64) string { return fmt.Sprintf("%.1f%%", x*100) }
+
+// F2 formats a float with two decimals.
+func F2(x float64) string { return fmt.Sprintf("%.2f", x) }
+
+// F1 formats a float with one decimal.
+func F1(x float64) string { return fmt.Sprintf("%.1f", x) }
+
+// I formats an integer.
+func I(x int) string { return fmt.Sprintf("%d", x) }
+
+// U formats an unsigned integer.
+func U(x uint64) string { return fmt.Sprintf("%d", x) }
+
+// Bars renders a horizontal ASCII bar chart: one row per label, bar length
+// proportional to value/maxValue over width characters.
+func Bars(w io.Writer, title string, labels []string, values []float64, width int) {
+	if width < 4 {
+		width = 40
+	}
+	maxv := 0.0
+	for _, v := range values {
+		if v > maxv {
+			maxv = v
+		}
+	}
+	lw := 0
+	for _, l := range labels {
+		if len(l) > lw {
+			lw = len(l)
+		}
+	}
+	if title != "" {
+		fmt.Fprintln(w, title)
+	}
+	for i, l := range labels {
+		v := 0.0
+		if i < len(values) {
+			v = values[i]
+		}
+		n := 0
+		if maxv > 0 {
+			n = int(v / maxv * float64(width))
+		}
+		fmt.Fprintf(w, "%s |%s %.3g\n", pad(l, lw), strings.Repeat("#", n), v)
+	}
+}

@@ -1,0 +1,244 @@
+// Package trace defines the memory-reference record that flows through the
+// simulators, together with composable reference sources (generators,
+// filters, interleavers) and a compact binary trace codec.
+//
+// A Ref is one committed memory instruction. Trace-driven simulation
+// (paper Sections 5.1-5.6) consumes only PC, Addr and Kind; the timing model
+// (Sections 5.7-5.8) additionally uses Gap (non-memory instructions since
+// the previous reference) and the Dep flag (the reference's address depends
+// on the value loaded by the previous memory reference, as in pointer
+// chasing), which together determine how much memory-level parallelism the
+// out-of-order core can extract.
+package trace
+
+import "repro/internal/mem"
+
+// Kind classifies a memory reference.
+type Kind uint8
+
+const (
+	// Load is a data read.
+	Load Kind = iota
+	// Store is a data write.
+	Store
+)
+
+// String returns "load" or "store".
+func (k Kind) String() string {
+	if k == Store {
+		return "store"
+	}
+	return "load"
+}
+
+// Ref is a single committed memory reference.
+type Ref struct {
+	// PC is the program counter of the memory instruction.
+	PC mem.Addr
+	// Addr is the referenced data address (byte-granular).
+	Addr mem.Addr
+	// Kind says whether the reference reads or writes.
+	Kind Kind
+	// Gap is the number of non-memory instructions committed between the
+	// previous reference and this one. The timing model charges them at the
+	// core's issue width.
+	Gap uint8
+	// Dep marks the reference's address as data-dependent on the previous
+	// memory reference (pointer chasing): the timing model may not issue it
+	// before the previous load's value returns.
+	Dep bool
+	// Ctx identifies the software context (program) that issued the
+	// reference. Single-program workloads use context 0; the
+	// multi-programmed experiments interleave contexts 0 and 1.
+	Ctx uint8
+}
+
+// Source produces a stream of references. Next returns the next reference
+// and true, or a zero Ref and false when the stream is exhausted. Sources
+// are single-use unless documented otherwise.
+type Source interface {
+	Next() (Ref, bool)
+}
+
+// SliceSource replays a fixed slice of references.
+type SliceSource struct {
+	refs []Ref
+	pos  int
+}
+
+// NewSliceSource returns a Source that yields refs in order.
+func NewSliceSource(refs []Ref) *SliceSource {
+	return &SliceSource{refs: refs}
+}
+
+// Next implements Source.
+func (s *SliceSource) Next() (Ref, bool) {
+	if s.pos >= len(s.refs) {
+		return Ref{}, false
+	}
+	r := s.refs[s.pos]
+	s.pos++
+	return r, true
+}
+
+// Reset rewinds the source to the beginning so it can be replayed.
+func (s *SliceSource) Reset() { s.pos = 0 }
+
+// FuncSource adapts a function to the Source interface.
+type FuncSource func() (Ref, bool)
+
+// Next implements Source.
+func (f FuncSource) Next() (Ref, bool) { return f() }
+
+// Limit wraps src and stops after n references.
+func Limit(src Source, n uint64) Source {
+	count := uint64(0)
+	return FuncSource(func() (Ref, bool) {
+		if count >= n {
+			return Ref{}, false
+		}
+		r, ok := src.Next()
+		if !ok {
+			return Ref{}, false
+		}
+		count++
+		return r, true
+	})
+}
+
+// Concat yields all references of each source in turn.
+func Concat(srcs ...Source) Source {
+	i := 0
+	return FuncSource(func() (Ref, bool) {
+		for i < len(srcs) {
+			if r, ok := srcs[i].Next(); ok {
+				return r, true
+			}
+			i++
+		}
+		return Ref{}, false
+	})
+}
+
+// Collect drains src into a slice, up to max references (0 means no limit).
+func Collect(src Source, max int) []Ref {
+	var out []Ref
+	for {
+		if max > 0 && len(out) >= max {
+			return out
+		}
+		r, ok := src.Next()
+		if !ok {
+			return out
+		}
+		out = append(out, r)
+	}
+}
+
+// Count drains src and returns the number of references it produced.
+func Count(src Source) uint64 {
+	var n uint64
+	for {
+		if _, ok := src.Next(); !ok {
+			return n
+		}
+		n++
+	}
+}
+
+// Offset shifts every data address produced by src by delta bytes and stamps
+// refs with the given context id. The multi-programmed experiments use it to
+// give each program a disjoint physical range, as the paper does
+// ("the addresses accessed by one application in each pair were shifted to
+// simulate non-overlapping physical address ranges").
+func Offset(src Source, delta mem.Addr, ctx uint8) Source {
+	return FuncSource(func() (Ref, bool) {
+		r, ok := src.Next()
+		if !ok {
+			return Ref{}, false
+		}
+		r.Addr += delta
+		r.Ctx = ctx
+		return r, true
+	})
+}
+
+// InterleaveQuanta alternates between two sources in fixed-size quanta of
+// committed instructions (memory references plus their gaps), mimicking
+// context switches. Instruction counts follow the paper's Section 5.5 setup:
+// execution alternates between the two programs with per-program quanta.
+// When one program exits, the other continues alone (no more switches); the
+// stream ends when both are exhausted, or after maxSwitches context
+// switches (0 means unlimited).
+func InterleaveQuanta(a, b Source, quantumA, quantumB uint64, maxSwitches int) Source {
+	srcs := [2]Source{a, b}
+	quanta := [2]uint64{quantumA, quantumB}
+	var exhausted [2]bool
+	active := 0
+	var instrs uint64
+	switches := 0
+	stopped := false
+	return FuncSource(func() (Ref, bool) {
+		for {
+			if stopped || (exhausted[0] && exhausted[1]) {
+				return Ref{}, false
+			}
+			if exhausted[active] {
+				active = 1 - active
+				instrs = 0
+				continue
+			}
+			if instrs >= quanta[active] && !exhausted[1-active] {
+				if maxSwitches > 0 && switches+1 >= maxSwitches {
+					stopped = true
+					return Ref{}, false
+				}
+				switches++
+				active = 1 - active
+				instrs = 0
+			}
+			r, ok := srcs[active].Next()
+			if !ok {
+				exhausted[active] = true
+				continue
+			}
+			instrs += uint64(r.Gap) + 1
+			return r, true
+		}
+	})
+}
+
+// Tee invokes fn for every reference flowing through the returned source.
+// It is useful for collecting side statistics without a second pass.
+func Tee(src Source, fn func(Ref)) Source {
+	return FuncSource(func() (Ref, bool) {
+		r, ok := src.Next()
+		if ok {
+			fn(r)
+		}
+		return r, ok
+	})
+}
+
+// Stats summarises a reference stream.
+type Stats struct {
+	Refs   uint64 // total memory references
+	Loads  uint64
+	Stores uint64
+	Instrs uint64 // total committed instructions (refs + gaps)
+	Deps   uint64 // references flagged as dependent
+}
+
+// Observe folds one reference into the stats.
+func (s *Stats) Observe(r Ref) {
+	s.Refs++
+	s.Instrs += uint64(r.Gap) + 1
+	if r.Kind == Store {
+		s.Stores++
+	} else {
+		s.Loads++
+	}
+	if r.Dep {
+		s.Deps++
+	}
+}

@@ -1,0 +1,265 @@
+package workload
+
+import (
+	"repro/internal/mem"
+	"repro/internal/trace"
+)
+
+// ChaseConfig describes a pointer-chasing traversal of a linked cycle.
+// The node layout can be shuffled so consecutive traversal steps land on
+// unrelated addresses: a delta-correlating prefetcher (GHB PC/DC) sees no
+// repeating stride pattern, while an address-correlating one (LT-cords,
+// DBCP) learns the arbitrary address pairs — the paper's bh/em3d/mcf story.
+// Chase loads carry Dep=true: the timing model serializes them, which is
+// what makes uncovered pointer-chasing misses so expensive (mcf's 0.08 IPC).
+type ChaseConfig struct {
+	// Base is the address of node storage.
+	Base mem.Addr
+	// Nodes is the number of nodes in the cycle.
+	Nodes int
+	// NodeSize is the byte size of one node (block-sized nodes make every
+	// node access a distinct cache block).
+	NodeSize int
+	// ShuffleLayout places node k of the traversal at a pseudo-random slot;
+	// otherwise traversal order equals layout order (regular, delta-friendly).
+	ShuffleLayout bool
+	// PageLocality constrains the shuffle to respect allocation locality:
+	// the traversal visits one page's nodes (in shuffled order) before
+	// moving to the next page (pages themselves in shuffled order). Block
+	// addresses remain delta-unpredictable, but TLB behaviour matches real
+	// pointer heaps, whose allocators cluster linked nodes onto pages.
+	PageLocality bool
+	// PageBytes is the locality granule for PageLocality (default 8192).
+	PageBytes int
+	// FieldRefs adds this many non-dependent same-node field references
+	// after each chase load (payload reads within the node's block).
+	FieldRefs int
+	// Iters is the number of complete cycle traversals.
+	Iters int
+	// PerturbFrac relocates this fraction of nodes between iterations
+	// (reallocation/mutation: pairs of nodes swap memory slots). The
+	// traversal order is preserved but the affected addresses change,
+	// which is exactly what makes previously recorded last-touch
+	// signatures stale (paper Section 3.2).
+	PerturbFrac float64
+	// Gap, StoreEvery, PCBase, Seed: as in SweepConfig.
+	Gap        Gaps
+	StoreEvery int
+	PCBase     mem.Addr
+	Seed       uint64
+}
+
+// PointerChase builds the generator. The footprint is Nodes*NodeSize bytes.
+func PointerChase(c ChaseConfig) trace.Source {
+	boundsCheck("PointerChase", c.Nodes > 2 && c.NodeSize > 0 && c.Iters > 0 && c.FieldRefs >= 0)
+	rng := NewRNG(c.Seed)
+	m := &refMaker{gaps: c.Gap, storeEvery: c.StoreEvery, rng: rng}
+	next := rng.Cycle(c.Nodes) // successor in traversal order
+	var slot []int32           // node id -> layout slot
+	switch {
+	case c.ShuffleLayout && c.PageLocality:
+		slot = pageClusteredSlots(c, next, rng)
+	case c.ShuffleLayout:
+		slot = rng.Perm(c.Nodes)
+	default:
+		slot = make([]int32, c.Nodes)
+		for i := range slot {
+			slot[i] = int32(i)
+		}
+	}
+	nodeAddr := func(id int32) mem.Addr {
+		return c.Base + mem.Addr(slot[id])*mem.Addr(c.NodeSize)
+	}
+	swaps := int(c.PerturbFrac * float64(c.Nodes) / 2)
+	cur := int32(0)
+	step, field := 0, 0
+	iter := 0
+	return trace.FuncSource(func() (trace.Ref, bool) {
+		if iter >= c.Iters {
+			return exhausted, false
+		}
+		if field > 0 {
+			// Field references within the current node's block(s).
+			off := mem.Addr(8 * field)
+			if off >= mem.Addr(c.NodeSize) {
+				off = mem.Addr(c.NodeSize - 8)
+			}
+			r := m.make(c.PCBase+8+mem.Addr(field*4), nodeAddr(cur)+off, false)
+			field--
+			if field == 0 {
+				cur = next[cur]
+				step++
+				if step == c.Nodes {
+					step = 0
+					iter++
+					relocate(slot, swaps, rng)
+				}
+			}
+			return r, true
+		}
+		r := m.make(c.PCBase, nodeAddr(cur), true) // the chase load
+		if c.FieldRefs > 0 {
+			field = c.FieldRefs
+		} else {
+			cur = next[cur]
+			step++
+			if step == c.Nodes {
+				step = 0
+				iter++
+				relocate(slot, swaps, rng)
+			}
+		}
+		return r, true
+	})
+}
+
+// pageClusteredSlots maps nodes to memory slots such that consecutive
+// *traversal* positions (following the successor cycle from node 0) stay
+// within one page until it is exhausted, with both the page order and the
+// within-page slot order shuffled. Block-level addresses remain
+// delta-unpredictable while TLB behaviour matches an allocator that
+// clusters linked nodes onto pages.
+func pageClusteredSlots(c ChaseConfig, next []int32, rng *RNG) []int32 {
+	pageBytes := c.PageBytes
+	if pageBytes <= 0 {
+		pageBytes = 8192
+	}
+	perPage := pageBytes / c.NodeSize
+	if perPage < 1 {
+		perPage = 1
+	}
+	pages := (c.Nodes + perPage - 1) / perPage
+	pageOrder := rng.Perm(pages)
+	// clustered[k] is the memory slot for the k-th traversal position.
+	clustered := make([]int32, 0, c.Nodes)
+	for _, pg := range pageOrder {
+		base := int(pg) * perPage
+		n := perPage
+		if base+n > c.Nodes {
+			n = c.Nodes - base
+		}
+		if n <= 0 {
+			continue
+		}
+		for _, w := range rng.Perm(n) {
+			clustered = append(clustered, int32(base+int(w)))
+		}
+	}
+	slot := make([]int32, c.Nodes)
+	cur := int32(0)
+	for k := 0; k < c.Nodes; k++ {
+		slot[cur] = clustered[k]
+		cur = next[cur]
+	}
+	return slot
+}
+
+// relocate swaps the memory slots of random node pairs: the traversal order
+// is unchanged, but the swapped nodes' addresses move, invalidating the
+// last-touch signatures recorded around them.
+func relocate(slot []int32, swaps int, rng *RNG) {
+	n := len(slot)
+	for s := 0; s < swaps; s++ {
+		i, j := rng.Intn(n), rng.Intn(n)
+		slot[i], slot[j] = slot[j], slot[i]
+	}
+}
+
+// TreeLayout selects how tree nodes map to memory.
+type TreeLayout uint8
+
+const (
+	// LayoutPreorder allocates nodes in depth-first visit order, the way
+	// Olden treeadd builds its tree: the traversal then walks memory nearly
+	// sequentially, which is why delta correlation works on treeadd
+	// ("systematic heap allocation results in a regular layout").
+	LayoutPreorder TreeLayout = iota
+	// LayoutHeap stores node i at slot i of the classic array heap
+	// (children of i at 2i+1, 2i+2): sibling jumps make the address
+	// deltas level-dependent.
+	LayoutHeap
+	// LayoutShuffled scatters nodes pseudo-randomly (a long-lived, heavily
+	// mutated heap): only address correlation can follow the traversal.
+	LayoutShuffled
+)
+
+// TreeConfig describes repeated depth-first traversal of a binary tree.
+type TreeConfig struct {
+	// Base is the address of node storage.
+	Base mem.Addr
+	// Depth is the tree depth; the tree has 2^Depth - 1 nodes.
+	Depth int
+	// NodeSize is the byte size of one node.
+	NodeSize int
+	// Layout selects the node placement (see TreeLayout).
+	Layout TreeLayout
+	// Iters is the number of complete traversals.
+	Iters int
+	// Gap, StoreEvery, PCBase, Seed: as in SweepConfig.
+	Gap        Gaps
+	StoreEvery int
+	PCBase     mem.Addr
+	Seed       uint64
+}
+
+// TreeWalk builds the generator. Traversal is iterative preorder DFS; every
+// node visit issues one dependent load (the child pointer dereference).
+func TreeWalk(c TreeConfig) trace.Source {
+	boundsCheck("TreeWalk", c.Depth >= 1 && c.Depth <= 28 && c.NodeSize > 0 && c.Iters > 0)
+	rng := NewRNG(c.Seed)
+	m := &refMaker{gaps: c.Gap, storeEvery: c.StoreEvery, rng: rng}
+	nodes := int32(1<<uint(c.Depth)) - 1
+	// slot maps heap node id -> memory slot.
+	var slot []int32
+	switch c.Layout {
+	case LayoutHeap:
+		// identity; nil means identity below
+	case LayoutShuffled:
+		slot = rng.Perm(int(nodes))
+	default: // LayoutPreorder
+		slot = make([]int32, nodes)
+		rank := int32(0)
+		st := []int32{0}
+		for len(st) > 0 {
+			id := st[len(st)-1]
+			st = st[:len(st)-1]
+			slot[id] = rank
+			rank++
+			if r := 2*id + 2; r < nodes {
+				st = append(st, r)
+			}
+			if l := 2*id + 1; l < nodes {
+				st = append(st, l)
+			}
+		}
+	}
+	addrOf := func(id int32) mem.Addr {
+		s := id
+		if slot != nil {
+			s = slot[id]
+		}
+		return c.Base + mem.Addr(s)*mem.Addr(c.NodeSize)
+	}
+	stack := make([]int32, 0, c.Depth+1)
+	stack = append(stack, 0)
+	iter := 0
+	return trace.FuncSource(func() (trace.Ref, bool) {
+		if iter >= c.Iters {
+			return exhausted, false
+		}
+		id := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		r := m.make(c.PCBase, addrOf(id), true)
+		if right := 2*id + 2; right < nodes {
+			stack = append(stack, right)
+		}
+		if left := 2*id + 1; left < nodes {
+			stack = append(stack, left)
+		}
+		if len(stack) == 0 {
+			stack = append(stack, 0)
+			iter++
+		}
+		return r, true
+	})
+}

@@ -1,0 +1,63 @@
+package workload
+
+import (
+	"repro/internal/mem"
+	"repro/internal/trace"
+)
+
+// Gaps describes the distribution of non-memory instructions between
+// consecutive memory references: Mean plus a uniform jitter of +-Jitter.
+// Larger gaps mean a less memory-intensive program (higher base IPC).
+type Gaps struct {
+	Mean   int
+	Jitter int
+}
+
+func (g Gaps) next(rng *RNG) uint8 {
+	v := g.Mean
+	if g.Jitter > 0 {
+		v += rng.Intn(2*g.Jitter+1) - g.Jitter
+	}
+	if v < 0 {
+		v = 0
+	}
+	if v > 255 {
+		v = 255
+	}
+	return uint8(v)
+}
+
+// refMaker assembles Refs with shared bookkeeping: gap sampling and the
+// every-Nth-access store pattern.
+type refMaker struct {
+	gaps       Gaps
+	storeEvery int // every Nth reference is a store; 0 disables stores
+	rng        *RNG
+	count      uint64
+}
+
+func (m *refMaker) make(pc, addr mem.Addr, dep bool) trace.Ref {
+	m.count++
+	r := trace.Ref{
+		PC:   pc,
+		Addr: addr,
+		Gap:  m.gaps.next(m.rng),
+		Dep:  dep,
+	}
+	if m.storeEvery > 0 && m.count%uint64(m.storeEvery) == 0 {
+		r.Kind = trace.Store
+	}
+	return r
+}
+
+// exhausted is a reusable terminal state.
+var exhausted = trace.Ref{}
+
+// boundsCheck panics early on nonsensical generator parameters so that
+// misconfigured presets fail loudly at construction instead of producing
+// empty or degenerate streams.
+func boundsCheck(name string, ok bool) {
+	if !ok {
+		panic("workload: invalid parameters for " + name)
+	}
+}

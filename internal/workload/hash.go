@@ -1,0 +1,103 @@
+package workload
+
+import (
+	"repro/internal/mem"
+	"repro/internal/trace"
+)
+
+// HashConfig describes hashed/randomized accesses (gzip/bzip2/twolf-like):
+// the reference stream has essentially no temporal correlation, so no
+// address-correlating predictor can learn it. A hot region tunes the miss
+// rate: references land in the small hot region with probability HotFrac
+// (those mostly hit) and anywhere in the footprint otherwise.
+type HashConfig struct {
+	// Base is the region start.
+	Base mem.Addr
+	// Footprint is the total region size in bytes.
+	Footprint int
+	// HotBytes is the size of the frequently reused sub-region.
+	HotBytes int
+	// HotFrac is the probability of a reference landing in the hot region.
+	HotFrac float64
+	// Refs is the stream length.
+	Refs uint64
+	// PCs is the number of distinct instruction addresses to rotate
+	// through, emulating a hashing loop body.
+	PCs int
+	// Gap, StoreEvery, PCBase, Seed: as in SweepConfig.
+	Gap        Gaps
+	StoreEvery int
+	PCBase     mem.Addr
+	Seed       uint64
+}
+
+// HashAccess builds the generator.
+func HashAccess(c HashConfig) trace.Source {
+	boundsCheck("HashAccess", c.Footprint > 0 && c.HotBytes >= 0 && c.HotBytes <= c.Footprint &&
+		c.HotFrac >= 0 && c.HotFrac <= 1 && c.PCs > 0)
+	rng := NewRNG(c.Seed)
+	m := &refMaker{gaps: c.Gap, storeEvery: c.StoreEvery, rng: rng}
+	var n uint64
+	return trace.FuncSource(func() (trace.Ref, bool) {
+		if n >= c.Refs {
+			return exhausted, false
+		}
+		n++
+		var addr mem.Addr
+		if c.HotBytes > 0 && rng.Float64() < c.HotFrac {
+			addr = c.Base + mem.Addr(rng.Intn(c.HotBytes))
+		} else {
+			addr = c.Base + mem.Addr(rng.Intn(c.Footprint))
+		}
+		pc := c.PCBase + mem.Addr(rng.Intn(c.PCs)*4)
+		return m.make(pc, addr, false), true
+	})
+}
+
+// StreamConfig describes single-pass (or few-pass) streaming with little or
+// no reuse — the gap-like case where data layout is perfectly regular but
+// addresses never recur, so delta correlation prefetches successfully while
+// address correlation has nothing to correlate.
+type StreamConfig struct {
+	// Base is the region start.
+	Base mem.Addr
+	// Bytes is the streamed region size.
+	Bytes int
+	// Stride is the byte distance between references.
+	Stride int
+	// Passes is the number of sweeps; each pass streams a *different*
+	// region (offset by Bytes), modeling fresh allocations, unless Rewind
+	// is set.
+	Passes int
+	// Rewind re-streams the same region each pass instead of fresh ones.
+	Rewind bool
+	// Gap, StoreEvery, PCBase, Seed: as in SweepConfig.
+	Gap        Gaps
+	StoreEvery int
+	PCBase     mem.Addr
+	Seed       uint64
+}
+
+// StreamOnce builds the generator.
+func StreamOnce(c StreamConfig) trace.Source {
+	boundsCheck("StreamOnce", c.Bytes > 0 && c.Stride > 0 && c.Passes > 0)
+	m := &refMaker{gaps: c.Gap, storeEvery: c.StoreEvery, rng: NewRNG(c.Seed)}
+	pass, off := 0, 0
+	return trace.FuncSource(func() (trace.Ref, bool) {
+		if pass >= c.Passes {
+			return exhausted, false
+		}
+		base := c.Base
+		if !c.Rewind {
+			base += mem.Addr(pass) * mem.Addr(c.Bytes)
+		}
+		addr := base + mem.Addr(off)
+		r := m.make(c.PCBase, addr, false)
+		off += c.Stride
+		if off >= c.Bytes {
+			off = 0
+			pass++
+		}
+		return r, true
+	})
+}

@@ -1,0 +1,189 @@
+package workload
+
+import (
+	"repro/internal/mem"
+	"repro/internal/trace"
+)
+
+// SweepConfig describes a loop nest sweeping one or more arrays, the SPECfp
+// idiom (swim/applu/lucas-like). Every outer iteration repeats the same
+// element order, so the L1D miss sequence recurs nearly perfectly — the
+// temporal correlation LT-cords exploits.
+type SweepConfig struct {
+	// Base is the address of the first array.
+	Base mem.Addr
+	// Arrays is the number of equally sized arrays, laid out back to back.
+	Arrays int
+	// Elems is the element count per array.
+	Elems int
+	// Stride is the byte distance between consecutive elements.
+	Stride int
+	// Iters is the number of outer-loop iterations; the stream ends after
+	// the last one.
+	Iters int
+	// Interleave visits element i of every array before element i+1
+	// (a[i], b[i], c[i], ...), as stencil codes do; otherwise arrays are
+	// swept one after another.
+	Interleave bool
+	// GatherFrac redirects this fraction of element accesses through a
+	// fixed pseudo-random permutation (a[perm[i]] instead of a[i]), issued
+	// from the same instruction — the indirect/gather component of real FP
+	// codes. The permutation is fixed, so the access sequence still recurs
+	// perfectly (address correlation learns it), but the interleaved
+	// irregular deltas break delta-correlating prefetchers, the paper's
+	// Section 1 argument against GHB.
+	GatherFrac float64
+	// PadBlocks inserts this many cache blocks of padding between arrays.
+	// Interleaved stencil sweeps need it for the same reason real codes
+	// pad their arrays: same-sized arrays laid back-to-back alias to the
+	// same cache sets, and a[i], b[i], c[i] then conflict-thrash every set.
+	PadBlocks int
+	// Gap is the non-memory instruction gap distribution.
+	Gap Gaps
+	// StoreEvery makes every Nth reference a store (0 = loads only).
+	StoreEvery int
+	// PCBase positions the loop body's instruction addresses; each array's
+	// access instruction has a fixed PC, so recurring iterations replay the
+	// same PC trace.
+	PCBase mem.Addr
+	// Seed drives gap jitter.
+	Seed uint64
+}
+
+// ArraySweep builds the generator. The footprint is
+// Arrays * Elems * Stride bytes starting at Base.
+func ArraySweep(c SweepConfig) trace.Source {
+	boundsCheck("ArraySweep", c.Arrays > 0 && c.Elems > 0 && c.Stride > 0 && c.Iters > 0 &&
+		c.GatherFrac >= 0 && c.GatherFrac <= 1)
+	rng := NewRNG(c.Seed)
+	m := &refMaker{gaps: c.Gap, storeEvery: c.StoreEvery, rng: rng}
+	arrBytes := mem.Addr(c.Elems*c.Stride + c.PadBlocks*64)
+	// The gather permutation and the positions it applies to are fixed at
+	// construction, so every iteration repeats the same address sequence.
+	// The permutation is windowed to one page's worth of elements: gathers
+	// scramble block-level deltas without leaving the current page, the
+	// way indirection vectors with allocation locality behave (and without
+	// turning the sweep into a TLB-thrash microbenchmark).
+	var gatherAt int
+	var perm []int32
+	if c.GatherFrac > 0 {
+		gatherAt = int(1 / c.GatherFrac)
+		window := 8192 / c.Stride
+		if window < 16 {
+			window = 16
+		}
+		perm = make([]int32, c.Elems)
+		for base := 0; base < c.Elems; base += window {
+			n := window
+			if base+n > c.Elems {
+				n = c.Elems - base
+			}
+			for i, w := range rng.Perm(n) {
+				perm[base+i] = int32(base + int(w))
+			}
+		}
+	}
+	iter, pos, arr := 0, 0, 0
+	return trace.FuncSource(func() (trace.Ref, bool) {
+		if iter >= c.Iters {
+			return exhausted, false
+		}
+		elem := pos
+		if perm != nil && gatherAt > 0 && pos%gatherAt == gatherAt-1 {
+			elem = int(perm[pos])
+		}
+		addr := c.Base + mem.Addr(arr)*arrBytes + mem.Addr(elem*c.Stride)
+		pc := c.PCBase + mem.Addr(arr*8)
+		r := m.make(pc, addr, false)
+		// Advance the loop nest.
+		if c.Interleave {
+			arr++
+			if arr == c.Arrays {
+				arr = 0
+				pos++
+				if pos == c.Elems {
+					pos = 0
+					iter++
+				}
+			}
+		} else {
+			pos++
+			if pos == c.Elems {
+				pos = 0
+				arr++
+				if arr == c.Arrays {
+					arr = 0
+					iter++
+				}
+			}
+		}
+		return r, true
+	})
+}
+
+// PerturbedSweepConfig describes a repeated traversal whose visit order
+// mutates between iterations. Mutation makes a fraction of the recorded
+// last-touch signatures stale each iteration, producing the *partial*
+// temporal correlation the paper observes in ammp, apsi, parser and mcf.
+type PerturbedSweepConfig struct {
+	// Base is the region start.
+	Base mem.Addr
+	// Elems is the number of elements visited per iteration.
+	Elems int
+	// Stride is the byte distance between element slots.
+	Stride int
+	// Iters is the number of traversal repetitions.
+	Iters int
+	// PerturbFrac is the fraction of positions swapped between iterations
+	// (0 reproduces ArraySweep over a fixed random order; 1 reshuffles
+	// completely every iteration).
+	PerturbFrac float64
+	// ShuffledStart randomizes the initial visit order; otherwise the first
+	// iteration is sequential.
+	ShuffledStart bool
+	// Dep marks every reference as address-dependent on the previous one:
+	// the traversal follows an indirection chain (neighbor lists, hash
+	// chains), so uncovered misses serialize in the timing model.
+	Dep bool
+	// Gap, StoreEvery, PCBase, Seed: as in SweepConfig.
+	Gap        Gaps
+	StoreEvery int
+	PCBase     mem.Addr
+	Seed       uint64
+}
+
+// PerturbedSweep builds the generator.
+func PerturbedSweep(c PerturbedSweepConfig) trace.Source {
+	boundsCheck("PerturbedSweep", c.Elems > 1 && c.Stride > 0 && c.Iters > 0 &&
+		c.PerturbFrac >= 0 && c.PerturbFrac <= 1)
+	rng := NewRNG(c.Seed)
+	m := &refMaker{gaps: c.Gap, storeEvery: c.StoreEvery, rng: rng}
+	var order []int32
+	if c.ShuffledStart {
+		order = rng.Perm(c.Elems)
+	} else {
+		order = make([]int32, c.Elems)
+		for i := range order {
+			order[i] = int32(i)
+		}
+	}
+	swaps := int(c.PerturbFrac * float64(c.Elems) / 2)
+	iter, pos := 0, 0
+	return trace.FuncSource(func() (trace.Ref, bool) {
+		if iter >= c.Iters {
+			return exhausted, false
+		}
+		addr := c.Base + mem.Addr(order[pos])*mem.Addr(c.Stride)
+		r := m.make(c.PCBase, addr, c.Dep)
+		pos++
+		if pos == c.Elems {
+			pos = 0
+			iter++
+			for s := 0; s < swaps; s++ {
+				i, j := rng.Intn(c.Elems), rng.Intn(c.Elems)
+				order[i], order[j] = order[j], order[i]
+			}
+		}
+		return r, true
+	})
+}

@@ -11,6 +11,8 @@
 package repro
 
 import (
+	"fmt"
+	"runtime"
 	"testing"
 
 	"repro/internal/cache"
@@ -19,6 +21,7 @@ import (
 	"repro/internal/dbcp"
 	"repro/internal/exp"
 	"repro/internal/ghb"
+	"repro/internal/runner"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/workload"
@@ -110,6 +113,29 @@ func BenchmarkPowerModel(b *testing.B) {
 // Ablations: LT-cords design-choice sweep on one benchmark.
 func BenchmarkAblations(b *testing.B) {
 	benchExp(b, "ablations", "swim")
+}
+
+// BenchmarkExpAllCells runs every experiment on a two-benchmark subset
+// through one shared cell scheduler — once serial and once at GOMAXPROCS —
+// so both the worker-pool speedup and the cross-figure cache hit rate are
+// visible in the bench trajectory.
+func BenchmarkExpAllCells(b *testing.B) {
+	for _, par := range []int{1, runtime.GOMAXPROCS(0)} {
+		b.Run(fmt.Sprintf("parallel-%d", par), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				sched := runner.New(par)
+				o := exp.Options{Scale: workload.Small, Benchmarks: []string{"swim", "mcf"}, Runner: sched}
+				for _, id := range exp.IDs() {
+					if _, err := exp.Run(id, o); err != nil {
+						b.Fatalf("%s: %v", id, err)
+					}
+				}
+				st := sched.Stats()
+				b.ReportMetric(st.HitRate()*100, "cache-hit%")
+				b.ReportMetric(float64(st.Executed), "cells-simulated")
+			}
+		})
+	}
 }
 
 // ---- Microbenchmarks of the simulation substrate itself ----

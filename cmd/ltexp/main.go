@@ -4,30 +4,42 @@
 //
 //	ltexp -exp fig8                 # one experiment, default scale (small)
 //	ltexp -exp all -scale medium    # every experiment at medium scale
+//	ltexp -exp all -parallel 8      # fan simulation cells over 8 workers
+//	ltexp -exp all -json            # structured output for bench tracking
 //	ltexp -exp table3 -bench mcf,em3d,swim
 //	ltexp -list                     # enumerate experiment ids
+//
+// Experiments are decomposed into simulation cells executed by a worker
+// pool (internal/runner); one scheduler is shared across the whole
+// invocation, so cells repeated between figures (baseline timing runs,
+// correlation analyses, oracle coverage runs) are simulated exactly once.
+// Reports are byte-identical at any -parallel value.
 //
 // Experiment ids map to the paper artifacts; see DESIGN.md §3.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 
 	"repro/internal/exp"
+	"repro/internal/runner"
 	"repro/internal/workload"
 )
 
 func main() {
 	var (
-		expID   = flag.String("exp", "", "experiment id (or 'all')")
-		scale   = flag.String("scale", "small", "workload scale: small|medium|large")
-		seed    = flag.Uint64("seed", 1, "workload seed")
-		benches = flag.String("bench", "", "comma-separated benchmark subset (default: experiment's own)")
-		list    = flag.Bool("list", false, "list experiment ids and exit")
-		quiet   = flag.Bool("q", false, "suppress progress output")
+		expID    = flag.String("exp", "", "experiment id (or 'all')")
+		scale    = flag.String("scale", "small", "workload scale: small|medium|large")
+		seed     = flag.Uint64("seed", 1, "workload seed")
+		benches  = flag.String("bench", "", "comma-separated benchmark subset (default: experiment's own)")
+		parallel = flag.Int("parallel", 0, "simulation cell workers (0 = GOMAXPROCS)")
+		jsonOut  = flag.Bool("json", false, "emit one JSON envelope instead of text reports")
+		list     = flag.Bool("list", false, "list experiment ids and exit")
+		quiet    = flag.Bool("q", false, "suppress progress output")
 	)
 	flag.Parse()
 
@@ -46,7 +58,10 @@ func main() {
 		fmt.Fprintln(os.Stderr, "ltexp:", err)
 		os.Exit(2)
 	}
-	opts := exp.Options{Scale: sc, Seed: *seed}
+	// One scheduler for the whole invocation: its cell cache spans every
+	// experiment, so figures sharing cells re-simulate nothing.
+	sched := runner.New(*parallel)
+	opts := exp.Options{Scale: sc, Seed: *seed, Parallelism: *parallel, Runner: sched}
 	if *benches != "" {
 		opts.Benchmarks = strings.Split(*benches, ",")
 	}
@@ -58,13 +73,37 @@ func main() {
 	if *expID == "all" {
 		ids = exp.IDs()
 	}
+	var reports []*exp.Report
 	for _, id := range ids {
 		rep, err := exp.Run(id, opts)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "ltexp: %s: %v\n", id, err)
 			os.Exit(1)
 		}
+		if *jsonOut {
+			reports = append(reports, rep)
+			continue
+		}
 		rep.Render(os.Stdout)
 		fmt.Println()
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(struct {
+			Scale       string        `json:"scale"`
+			Seed        uint64        `json:"seed"`
+			Parallelism int           `json:"parallelism"`
+			Reports     []*exp.Report `json:"reports"`
+			Cells       runner.Stats  `json:"cells"`
+		}{*scale, *seed, sched.Parallelism(), reports, sched.Stats()}); err != nil {
+			fmt.Fprintln(os.Stderr, "ltexp:", err)
+			os.Exit(1)
+		}
+	}
+	if !*quiet {
+		st := sched.Stats()
+		fmt.Fprintf(os.Stderr, "cells: %d submitted, %d simulated, %d cache hits (%.1f%% eliminated)\n",
+			st.Submitted, st.Executed, st.Hits, st.HitRate()*100)
 	}
 }

@@ -15,7 +15,8 @@
 //   - internal/workload: synthetic workload generators standing in for the
 //     paper's SPEC CPU2000 and Olden benchmarks
 //   - internal/corr, internal/stats, internal/power: analysis tooling
-//   - internal/exp: one experiment per paper figure/table
+//   - internal/runner: simulation-cell scheduler (worker pool + result cache)
+//   - internal/exp: one experiment per paper figure/table, built from cells
 //   - cmd/ltsim, cmd/ltexp, cmd/lttrace: command-line front ends
 //
 // See DESIGN.md for the system inventory and the per-experiment index, and

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/runner"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/textplot"
@@ -53,6 +54,8 @@ func ablations() []ablation {
 
 // runAblations measures coverage impact of LT-cords design choices on the
 // memory-intensive subset, validating the paper's parameter discussion.
+// The default variant's cells are shared with fig8/fig11; the 8-way and
+// fragment=2K variants coincide with points of the fig9/fig10 sweeps.
 func runAblations(o Options) (*Report, error) {
 	if len(o.Benchmarks) == 0 {
 		o.Benchmarks = []string{"applu", "art", "em3d", "mcf", "swim"}
@@ -61,24 +64,33 @@ func runAblations(o Options) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	tab := textplot.NewTable("variant", "mean coverage", "mean early", "seq-fetch B/miss")
-	for _, a := range ablations() {
-		var covs, earlies, fetchPerMiss []float64
+	abls := ablations()
+	s := o.sched()
+	tasks := make([]runner.Task[ltCov], 0, len(abls)*len(ps))
+	for _, a := range abls {
 		params := core.DefaultParams()
 		a.mutate(&params)
 		if err := params.Validate(); err != nil {
 			return nil, fmt.Errorf("ablation %q: %w", a.name, err)
 		}
 		for _, p := range ps {
-			lt := core.MustNew(sim.PaperL1D(), params)
-			cov, err := sim.RunCoverage(p.Source(o.Scale, o.seed()), lt, sim.CoverageConfig{})
-			if err != nil {
-				return nil, err
-			}
-			covs = append(covs, cov.CoveragePct())
-			earlies = append(earlies, cov.EarlyPct())
-			if cov.Opportunity > 0 {
-				fetchPerMiss = append(fetchPerMiss, float64(lt.Stats().SeqFetchBytes)/float64(cov.Opportunity))
+			tasks = append(tasks, o.ltCoverageCell(p, params, sim.CoverageConfig{}))
+		}
+	}
+	res, err := runner.All(s, tasks)
+	if err != nil {
+		return nil, err
+	}
+
+	tab := textplot.NewTable("variant", "mean coverage", "mean early", "seq-fetch B/miss")
+	for ai, a := range abls {
+		var covs, earlies, fetchPerMiss []float64
+		for pi := range ps {
+			r := res[ai*len(ps)+pi]
+			covs = append(covs, r.Cov.CoveragePct())
+			earlies = append(earlies, r.Cov.EarlyPct())
+			if r.Cov.Opportunity > 0 {
+				fetchPerMiss = append(fetchPerMiss, float64(r.SeqFetch)/float64(r.Cov.Opportunity))
 			}
 		}
 		tab.AddRow(a.name, textplot.Pct(stats.Mean(covs)), textplot.Pct(stats.Mean(earlies)),

@@ -1,0 +1,310 @@
+package exp
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/corr"
+	"repro/internal/cpu"
+	"repro/internal/dbcp"
+	"repro/internal/ghb"
+	"repro/internal/runner"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// This file decomposes the experiments into simulation cells: independent
+// units of work (preset × scale × seed × cache config × prefetcher)
+// submitted through the runner scheduler. Cell keys fingerprint every
+// input that affects the result, so cells shared between figures — the
+// baseline timing runs (fig2/table2/table3), the correlation analyses
+// (fig6/fig7), the oracle-DBCP coverage runs (fig4/fig8), the default
+// LT-cords coverage runs (fig8/fig11/ablations) — are simulated once per
+// scheduler and served from the cache afterwards.
+
+// fp renders a parameter struct into a canonical fingerprint. Parameter
+// structs must contain only scalar fields (no pointers, maps or slices).
+func fp(v any) string { return fmt.Sprintf("%+v", v) }
+
+// cellKey fingerprints the workload inputs common to every cell.
+func (o Options) cellKey(p workload.Preset) string {
+	return fmt.Sprintf("%s|scale%d|seed%d", p.Name, o.Scale, o.seed())
+}
+
+// covCfgKey fingerprints a coverage configuration. A DeadTimes sink is
+// marked (not fingerprinted): cell results are cached and shared, so a
+// side-channel output sink would stay empty on a cache hit — such
+// configs get their own key and are rejected at run time.
+func covCfgKey(cfg sim.CoverageConfig) string {
+	key := fmt.Sprintf("l1{%+v}|l2{%+v}|withl2=%t", cfg.L1, cfg.L2, cfg.WithL2)
+	if cfg.DeadTimes != nil {
+		key += "|deadtimes=sink"
+	}
+	return key
+}
+
+// errDeadTimesSink rejects coverage configs carrying an output sink that
+// memoization cannot serve (use the timing cells' cached DeadTimes
+// histogram instead).
+var errDeadTimesSink = fmt.Errorf("exp: coverage cells cannot fill cfg.DeadTimes (results are cached); read timingRun.DeadTimes instead")
+
+// pfSpec couples a prefetcher factory with the fingerprint of the
+// parameters it was built from, keeping cell keys and the simulated
+// configuration in sync by construction.
+type pfSpec struct {
+	fp string
+	mk func() sim.Prefetcher
+}
+
+func nullPF() pfSpec {
+	return pfSpec{fp: "none", mk: func() sim.Prefetcher { return sim.Null{} }}
+}
+
+func ltPF(params core.Params) pfSpec {
+	return pfSpec{fp: "lt{" + fp(params) + "}",
+		mk: func() sim.Prefetcher { return core.MustNew(sim.PaperL1D(), params) }}
+}
+
+func ghbPF(params ghb.Params) pfSpec {
+	return pfSpec{fp: "ghb{" + fp(params) + "}",
+		mk: func() sim.Prefetcher { return ghb.MustNew(sim.PaperL1D(), params) }}
+}
+
+func dbcpPF(params dbcp.Params) pfSpec {
+	return pfSpec{fp: "dbcp{" + fp(params) + "}",
+		mk: func() sim.Prefetcher { return dbcp.MustNew(sim.PaperL1D(), params) }}
+}
+
+// ltCov is the result of an LT-cords coverage cell: the coverage
+// classification plus the predictor's own sequence-fetch traffic counter
+// (the ablations report it).
+type ltCov struct {
+	Cov      sim.Coverage
+	SeqFetch uint64
+}
+
+// ltCoverageCell runs LT-cords over one preset's trace.
+func (o Options) ltCoverageCell(p workload.Preset, params core.Params, cfg sim.CoverageConfig) runner.Task[ltCov] {
+	key := "cov|" + o.cellKey(p) + "|pf=lt{" + fp(params) + "}|" + covCfgKey(cfg)
+	return runner.Task[ltCov]{Key: key, Run: func() (ltCov, error) {
+		if cfg.DeadTimes != nil {
+			return ltCov{}, errDeadTimesSink
+		}
+		lt := core.MustNew(sim.PaperL1D(), params)
+		cov, err := sim.RunCoverage(p.Source(o.Scale, o.seed()), lt, cfg)
+		if err != nil {
+			return ltCov{}, err
+		}
+		return ltCov{Cov: cov, SeqFetch: lt.Stats().SeqFetchBytes}, nil
+	}}
+}
+
+// dbcpCoverageCell runs a DBCP configuration over one preset's trace.
+func (o Options) dbcpCoverageCell(p workload.Preset, params dbcp.Params, cfg sim.CoverageConfig) runner.Task[sim.Coverage] {
+	key := "cov|" + o.cellKey(p) + "|pf=dbcp{" + fp(params) + "}|" + covCfgKey(cfg)
+	return runner.Task[sim.Coverage]{Key: key, Run: func() (sim.Coverage, error) {
+		if cfg.DeadTimes != nil {
+			return sim.Coverage{}, errDeadTimesSink
+		}
+		return sim.RunCoverage(p.Source(o.Scale, o.seed()), dbcp.MustNew(sim.PaperL1D(), params), cfg)
+	}}
+}
+
+// corrCell runs the temporal-correlation analysis over one preset's trace
+// (shared by fig6left, fig6right and fig7). The Result's histograms are
+// cached and shared: consumers must not mutate them.
+func (o Options) corrCell(p workload.Preset, cfg corr.Config) runner.Task[corr.Result] {
+	key := "corr|" + o.cellKey(p) + "|cfg{" + fp(cfg) + "}"
+	return runner.Task[corr.Result]{Key: key, Run: func() (corr.Result, error) {
+		return corr.Analyze(p.Source(o.Scale, o.seed()), cfg)
+	}}
+}
+
+// timingRun is the result of a timing cell: the cycle-level result plus
+// the L1D dead-time histogram collected along the way (fig2 consumes it;
+// attaching it is free and keeps the baseline run shareable). The
+// histogram is cached and shared: consumers must not mutate it.
+type timingRun struct {
+	Res       cpu.Result
+	DeadTimes *stats.Log2Histogram
+}
+
+// instrs resolves a preset's committed instruction count through the
+// scheduler (timing cells submit this as a nested cell to size their
+// SMARTS warm-up region).
+func (o Options) instrs(s *runner.Scheduler, p workload.Preset) (uint64, error) {
+	v, err := s.Do(runner.Cell{
+		Key: "instrs|" + o.cellKey(p),
+		Run: func() (any, error) {
+			var st trace.Stats
+			src := p.Source(o.Scale, o.seed())
+			for {
+				r, ok := src.Next()
+				if !ok {
+					break
+				}
+				st.Observe(r)
+			}
+			return st.Instrs, nil
+		},
+	})
+	if err != nil {
+		return 0, err
+	}
+	return v.(uint64), nil
+}
+
+// timingCell runs one cycle-level simulation with the prefetcher
+// described by spec. The first 30% of instructions are detailed warm-up
+// (predictor training), mirroring the paper's SMARTS
+// warm-up-then-measure methodology; speedup comparisons use
+// Result.MeasuredCycles. WarmupInstrs and DeadTimes are derived inside
+// the cell, so they are excluded from the key.
+func (o Options) timingCell(s *runner.Scheduler, p workload.Preset, spec pfSpec, params cpu.Params, l1, l2 cache.Config) runner.Task[timingRun] {
+	kp := params
+	kp.WarmupInstrs = 0
+	kp.DeadTimes = nil
+	key := "timing|" + o.cellKey(p) + "|core{" + fp(kp) + "}|l1{" + fp(l1) + "}|l2{" + fp(l2) + "}|pf=" + spec.fp
+	return runner.Task[timingRun]{Key: key, Run: func() (timingRun, error) {
+		total, err := o.instrs(s, p)
+		if err != nil {
+			return timingRun{}, err
+		}
+		pr := params
+		pr.WarmupInstrs = total * 30 / 100
+		pr.DeadTimes = stats.NewLog2Histogram(36)
+		e, err := cpu.NewEngine(pr, l1, l2)
+		if err != nil {
+			return timingRun{}, err
+		}
+		res := e.Run(p.Source(o.Scale, o.seed()), spec.mk())
+		return timingRun{Res: res, DeadTimes: pr.DeadTimes}, nil
+	}}
+}
+
+// baselineTimingCell is the no-prefetch timing run shared by fig2, table2
+// and table3.
+func (o Options) baselineTimingCell(s *runner.Scheduler, p workload.Preset) runner.Task[timingRun] {
+	return o.timingCell(s, p, nullPF(), timingParams(p), cache.Config{}, cache.Config{})
+}
+
+// missRates is the result of a trace-driven miss-rate cell (table2).
+type missRates struct {
+	L1, L2 float64
+}
+
+// missRateCell drives one preset's trace through an L1/L2 pair and
+// reports the miss rates.
+func (o Options) missRateCell(p workload.Preset, l1cfg, l2cfg cache.Config) runner.Task[missRates] {
+	key := "missrate|" + o.cellKey(p) + "|l1{" + fp(l1cfg) + "}|l2{" + fp(l2cfg) + "}"
+	return runner.Task[missRates]{Key: key, Run: func() (missRates, error) {
+		l1, err := cache.New(l1cfg)
+		if err != nil {
+			return missRates{}, err
+		}
+		l2, err := cache.New(l2cfg)
+		if err != nil {
+			return missRates{}, err
+		}
+		src := p.Source(o.Scale, o.seed())
+		var now uint64
+		for {
+			ref, ok := src.Next()
+			if !ok {
+				break
+			}
+			now += uint64(ref.Gap) + 1
+			if !l1.Access(ref.Addr, ref.Kind == trace.Store, now).Hit {
+				l2.Access(ref.Addr, false, now)
+			}
+		}
+		return missRates{L1: l1.Stats().MissRate(), L2: l2.Stats().MissRate()}, nil
+	}}
+}
+
+// mixedCoverageCell runs LT-cords over two programs alternating execution
+// on shared predictor state (fig11): the partner is shifted to a disjoint
+// physical range and tagged with context 1.
+func (o Options) mixedCoverageCell(subject, partner workload.Preset, qSubj, qPart uint64, params core.Params) runner.Task[sim.Coverage] {
+	key := fmt.Sprintf("mixcov|%s|%s+%s|q%d/%d|pf=lt{%s}", o.cellKey(subject), subject.Name, partner.Name, qSubj, qPart, fp(params))
+	return runner.Task[sim.Coverage]{Key: key, Run: func() (sim.Coverage, error) {
+		subjSrc := trace.Offset(subject.Source(o.Scale, o.seed()), 0, 0)
+		partSrc := trace.Offset(partner.Source(o.Scale, o.seed()+7), 1<<32, 1)
+		mixed := trace.InterleaveQuanta(subjSrc, partSrc, qSubj, qPart, 0)
+		lt := core.MustNew(sim.PaperL1D(), params)
+		return sim.RunCoverage(mixed, lt, sim.CoverageConfig{})
+	}}
+}
+
+// decileCov is the result of a convergence cell: per-execution-decile
+// prediction opportunities and correct predictions.
+type decileCov struct {
+	Total     uint64
+	Corr, Opp [10]uint64
+}
+
+// decileCell measures LT-cords coverage per execution decile
+// (convergence): a shadow cache supplies the opportunity, bucketed by
+// reference index.
+func (o Options) decileCell(p workload.Preset, params core.Params) runner.Task[decileCov] {
+	key := "decile|" + o.cellKey(p) + "|pf=lt{" + fp(params) + "}"
+	return runner.Task[decileCov]{Key: key, Run: func() (decileCov, error) {
+		var d decileCov
+		d.Total = trace.Count(p.Source(o.Scale, o.seed()))
+		if d.Total == 0 {
+			return d, nil
+		}
+		bucket := d.Total / 10
+		if bucket == 0 {
+			bucket = 1
+		}
+		lt := core.MustNew(sim.PaperL1D(), params)
+		main := cache.MustNew(sim.PaperL1D())
+		shadow := cache.MustNew(sim.PaperL1D())
+		geo := main.Geometry()
+		var n, now uint64
+		src := p.Source(o.Scale, o.seed())
+		for {
+			ref, ok := src.Next()
+			if !ok {
+				break
+			}
+			now += uint64(ref.Gap) + 1
+			b := n / bucket
+			if b > 9 {
+				b = 9
+			}
+			n++
+			write := ref.Kind == trace.Store
+			sres := shadow.Access(ref.Addr, write, now)
+			mres := main.Access(ref.Addr, write, now)
+			if !sres.Hit {
+				d.Opp[b]++
+				if mres.Hit {
+					d.Corr[b]++
+				}
+			}
+			var ev *cache.EvictInfo
+			if mres.Evicted.Valid {
+				ev = &mres.Evicted
+			}
+			for _, pd := range lt.OnAccess(ref, mres.Hit, ev) {
+				pb := geo.BlockAddr(pd.Addr)
+				if pb == geo.BlockAddr(ref.Addr) || pd.ToL2 {
+					continue
+				}
+				if eo, ins := main.InsertPrefetch(pb, pd.Victim, pd.UseVictim, now); ins {
+					var ep *cache.EvictInfo
+					if eo.Valid {
+						ep = &eo
+					}
+					lt.OnPrefetchFill(pb, ep)
+				}
+			}
+		}
+		return d, nil
+	}}
+}

@@ -3,11 +3,9 @@ package exp
 import (
 	"fmt"
 
-	"repro/internal/cache"
 	"repro/internal/core"
-	"repro/internal/sim"
+	"repro/internal/runner"
 	"repro/internal/textplot"
-	"repro/internal/trace"
 )
 
 func init() { register("convergence", runConvergence) }
@@ -25,72 +23,33 @@ func runConvergence(o Options) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
+	s := o.sched()
+	tasks := make([]runner.Task[decileCov], len(ps))
+	for i, p := range ps {
+		tasks[i] = o.decileCell(p, core.DefaultParams())
+	}
+	res, err := runner.All(s, tasks)
+	if err != nil {
+		return nil, err
+	}
+
 	headers := []string{"benchmark"}
 	for d := 1; d <= 10; d++ {
 		headers = append(headers, fmt.Sprintf("d%d", d))
 	}
 	tab := textplot.NewTable(headers...)
-	for _, p := range ps {
-		total := trace.Count(p.Source(o.Scale, o.seed()))
-		if total == 0 {
+	for i, p := range ps {
+		dc := res[i]
+		if dc.Total == 0 {
 			continue
-		}
-		bucket := total / 10
-		if bucket == 0 {
-			bucket = 1
-		}
-		lt := core.MustNew(sim.PaperL1D(), core.DefaultParams())
-		main := cache.MustNew(sim.PaperL1D())
-		shadow := cache.MustNew(sim.PaperL1D())
-		geo := main.Geometry()
-		var corr, opp [10]uint64
-		var n, now uint64
-		src := p.Source(o.Scale, o.seed())
-		for {
-			ref, ok := src.Next()
-			if !ok {
-				break
-			}
-			now += uint64(ref.Gap) + 1
-			b := n / bucket
-			if b > 9 {
-				b = 9
-			}
-			n++
-			write := ref.Kind == trace.Store
-			sres := shadow.Access(ref.Addr, write, now)
-			mres := main.Access(ref.Addr, write, now)
-			if !sres.Hit {
-				opp[b]++
-				if mres.Hit {
-					corr[b]++
-				}
-			}
-			var ev *cache.EvictInfo
-			if mres.Evicted.Valid {
-				ev = &mres.Evicted
-			}
-			for _, pd := range lt.OnAccess(ref, mres.Hit, ev) {
-				pb := geo.BlockAddr(pd.Addr)
-				if pb == geo.BlockAddr(ref.Addr) || pd.ToL2 {
-					continue
-				}
-				if eo, ins := main.InsertPrefetch(pb, pd.Victim, pd.UseVictim, now); ins {
-					var ep *cache.EvictInfo
-					if eo.Valid {
-						ep = &eo
-					}
-					lt.OnPrefetchFill(pb, ep)
-				}
-			}
 		}
 		row := []string{p.Name}
 		for d := 0; d < 10; d++ {
-			if opp[d] == 0 {
+			if dc.Opp[d] == 0 {
 				row = append(row, "-")
 				continue
 			}
-			row = append(row, textplot.Pct(float64(corr[d])/float64(opp[d])))
+			row = append(row, textplot.Pct(float64(dc.Corr[d])/float64(dc.Opp[d])))
 		}
 		tab.AddRow(row...)
 		o.progress("convergence %s done", p.Name)

@@ -9,17 +9,15 @@
 package exp
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"sort"
-	"sync"
 
-	"repro/internal/cache"
 	"repro/internal/cpu"
-	"repro/internal/sim"
+	"repro/internal/runner"
 	"repro/internal/stats"
 	"repro/internal/textplot"
-	"repro/internal/trace"
 	"repro/internal/workload"
 )
 
@@ -34,7 +32,26 @@ type Options struct {
 	// experiment's default set, usually all 28).
 	Benchmarks []string
 	// Progress, when non-nil, receives one line per completed step.
+	// Progress lines are emitted during the ordered reduction (after the
+	// cells of a batch complete), so their order is deterministic at any
+	// parallelism.
 	Progress io.Writer
+	// Parallelism is the worker count for simulation cells (0 =
+	// GOMAXPROCS). Ignored when Runner is set.
+	Parallelism int
+	// Runner, when non-nil, is a shared cell scheduler: its result cache
+	// spans every experiment submitted to it (cmd/ltexp shares one
+	// scheduler across an -exp all invocation so repeated cells are
+	// simulated once). When nil, each Run builds its own.
+	Runner *runner.Scheduler
+}
+
+// sched resolves the cell scheduler for a run.
+func (o Options) sched() *runner.Scheduler {
+	if o.Runner != nil {
+		return o.Runner
+	}
+	return runner.New(o.Parallelism)
 }
 
 func (o Options) seed() uint64 {
@@ -95,6 +112,25 @@ func (r *Report) Table() *textplot.Table {
 		return nil
 	}
 	return r.Sections[0].Table
+}
+
+// MarshalJSON renders the report as structured JSON (the ltexp -json
+// output consumed by bench tracking).
+func (r *Report) MarshalJSON() ([]byte, error) {
+	type section struct {
+		Caption string          `json:"caption,omitempty"`
+		Table   *textplot.Table `json:"table"`
+	}
+	sections := make([]section, len(r.Sections))
+	for i, s := range r.Sections {
+		sections[i] = section{Caption: s.Caption, Table: s.Table}
+	}
+	return json.Marshal(struct {
+		ID       string    `json:"id"`
+		Title    string    `json:"title"`
+		Sections []section `json:"sections"`
+		Notes    []string  `json:"notes,omitempty"`
+	}{r.ID, r.Title, sections, r.Notes})
 }
 
 // Render writes the report to w.
@@ -159,49 +195,6 @@ func timingParams(p workload.Preset) cpu.Params {
 	cp := cpu.DefaultParams()
 	cp.BranchMPKI = p.BranchMPKI
 	return cp
-}
-
-var (
-	instrCacheMu sync.Mutex
-	instrCache   = map[string]uint64{}
-)
-
-// totalInstrs counts the committed instructions of a preset's stream
-// (cached: generators are deterministic).
-func totalInstrs(p workload.Preset, o Options) uint64 {
-	key := fmt.Sprintf("%s|%d|%d", p.Name, o.Scale, o.seed())
-	instrCacheMu.Lock()
-	v, ok := instrCache[key]
-	instrCacheMu.Unlock()
-	if ok {
-		return v
-	}
-	var st trace.Stats
-	src := p.Source(o.Scale, o.seed())
-	for {
-		r, ok := src.Next()
-		if !ok {
-			break
-		}
-		st.Observe(r)
-	}
-	instrCacheMu.Lock()
-	instrCache[key] = st.Instrs
-	instrCacheMu.Unlock()
-	return st.Instrs
-}
-
-// runTiming executes one timing run for a preset. The first 30% of
-// instructions are detailed warm-up (predictor training), mirroring the
-// paper's SMARTS warm-up-then-measure methodology; speedup comparisons use
-// Result.MeasuredCycles.
-func runTiming(p workload.Preset, o Options, pf sim.Prefetcher, params cpu.Params, l1, l2 cache.Config) (cpu.Result, error) {
-	params.WarmupInstrs = totalInstrs(p, o) * 30 / 100
-	e, err := cpu.NewEngine(params, l1, l2)
-	if err != nil {
-		return cpu.Result{}, err
-	}
-	return e.Run(p.Source(o.Scale, o.seed()), pf), nil
 }
 
 // geoMeanSpeedups folds per-benchmark percent improvements into the

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/runner"
 	"repro/internal/sim"
 	"repro/internal/textplot"
 )
@@ -27,25 +28,32 @@ func runFig10(o Options) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
+	s := o.sched()
+	tasks := make([]runner.Task[ltCov], 0, len(ps)*len(fig10Frames))
+	for _, p := range ps {
+		for _, frames := range fig10Frames {
+			params := core.DefaultParams()
+			params.Frames = frames
+			params.FragmentSigs = 2048
+			tasks = append(tasks, o.ltCoverageCell(p, params, sim.CoverageConfig{}))
+		}
+	}
+	res, err := runner.All(s, tasks)
+	if err != nil {
+		return nil, err
+	}
+
 	headers := []string{"benchmark"}
 	for _, f := range fig10Frames {
 		headers = append(headers, fmt.Sprintf("%dK sigs", f*2048/1024))
 	}
 	tab := textplot.NewTable(headers...)
-	for _, p := range ps {
+	for pi, p := range ps {
 		row := []string{p.Name}
 		best := 0.0
 		var covs []float64
-		for _, frames := range fig10Frames {
-			params := core.DefaultParams()
-			params.Frames = frames
-			params.FragmentSigs = 2048
-			lt := core.MustNew(sim.PaperL1D(), params)
-			cov, err := sim.RunCoverage(p.Source(o.Scale, o.seed()), lt, sim.CoverageConfig{})
-			if err != nil {
-				return nil, err
-			}
-			c := cov.CoveragePct()
+		for i := range fig10Frames {
+			c := res[pi*len(fig10Frames)+i].Cov.CoveragePct()
 			covs = append(covs, c)
 			if c > best {
 				best = c

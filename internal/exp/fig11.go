@@ -4,9 +4,9 @@ import (
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/runner"
 	"repro/internal/sim"
 	"repro/internal/textplot"
-	"repro/internal/trace"
 	"repro/internal/workload"
 )
 
@@ -44,8 +44,8 @@ func fig11Quanta(s workload.Scale) (uint64, uint64) {
 // physical address ranges. Paper headline: with state preserved across
 // context switches, coverage is nearly unaffected — except when the
 // combined sequences exceed the off-chip storage (lucas with applu/mgrid).
+// The standalone cells are shared with fig8.
 func runFig11(o Options) (*Report, error) {
-	tab := textplot.NewTable("subject", "partner", "correct", "incorrect", "train", "early")
 	intQ, fpQ := fig11Quanta(o.Scale)
 	quantum := func(p workload.Preset) uint64 {
 		if p.Suite == "SPECint" {
@@ -53,40 +53,47 @@ func runFig11(o Options) (*Report, error) {
 		}
 		return fpQ
 	}
+	type pairing struct {
+		subject, partner workload.Preset
+	}
+	var soloTasks []runner.Task[ltCov]
+	var mixTasks []runner.Task[sim.Coverage]
+	var pairs []pairing
 	for _, name := range fig11Order {
 		subject, ok := workload.ByName(name)
 		if !ok {
 			return nil, fmt.Errorf("fig11: missing preset %s", name)
 		}
-		// Standalone run.
-		lt := core.MustNew(sim.PaperL1D(), core.DefaultParams())
-		cov, err := sim.RunCoverage(subject.Source(o.Scale, o.seed()), lt, sim.CoverageConfig{})
-		if err != nil {
-			return nil, err
-		}
-		tab.AddRow(name, "(standalone)",
-			textplot.Pct(cov.CoveragePct()), textplot.Pct(cov.IncorrectPct()),
-			textplot.Pct(cov.TrainPct()), textplot.Pct(cov.EarlyPct()))
-
+		soloTasks = append(soloTasks, o.ltCoverageCell(subject, core.DefaultParams(), sim.CoverageConfig{}))
 		for _, partnerName := range fig11Pairs[name] {
 			partner, ok := workload.ByName(partnerName)
 			if !ok {
 				return nil, fmt.Errorf("fig11: missing preset %s", partnerName)
 			}
-			// Shift the partner to a disjoint physical range; tag contexts.
-			subjSrc := trace.Offset(subject.Source(o.Scale, o.seed()), 0, 0)
-			partSrc := trace.Offset(partner.Source(o.Scale, o.seed()+7), 1<<32, 1)
-			mixed := trace.InterleaveQuanta(subjSrc, partSrc, quantum(subject), quantum(partner), 0)
-			lt := core.MustNew(sim.PaperL1D(), core.DefaultParams())
-			cov, err := sim.RunCoverage(mixed, lt, sim.CoverageConfig{})
-			if err != nil {
-				return nil, err
-			}
-			c := cov.PerCtx[0] // the subject's context
-			tab.AddRow(name, "w/ "+partnerName,
+			pairs = append(pairs, pairing{subject, partner})
+			mixTasks = append(mixTasks,
+				o.mixedCoverageCell(subject, partner, quantum(subject), quantum(partner), core.DefaultParams()))
+		}
+	}
+	s := o.sched()
+	soloRes, mixRes, err := runner.All2(s, soloTasks, mixTasks)
+	if err != nil {
+		return nil, err
+	}
+
+	tab := textplot.NewTable("subject", "partner", "correct", "incorrect", "train", "early")
+	mi := 0
+	for si, name := range fig11Order {
+		cov := soloRes[si].Cov
+		tab.AddRow(name, "(standalone)",
+			textplot.Pct(cov.CoveragePct()), textplot.Pct(cov.IncorrectPct()),
+			textplot.Pct(cov.TrainPct()), textplot.Pct(cov.EarlyPct()))
+		for ; mi < len(pairs) && pairs[mi].subject.Name == name; mi++ {
+			c := mixRes[mi].PerCtx[0] // the subject's context
+			tab.AddRow(name, "w/ "+pairs[mi].partner.Name,
 				textplot.Pct(c.CoveragePct()), textplot.Pct(c.IncorrectPct()),
 				textplot.Pct(c.TrainPct()), textplot.Pct(c.EarlyPct()))
-			o.progress("fig11 %s w/ %s done", name, partnerName)
+			o.progress("fig11 %s w/ %s done", name, pairs[mi].partner.Name)
 		}
 	}
 	rep := &Report{

@@ -5,7 +5,7 @@ import (
 
 	"repro/internal/cache"
 	"repro/internal/core"
-	"repro/internal/sim"
+	"repro/internal/runner"
 	"repro/internal/stats"
 	"repro/internal/textplot"
 )
@@ -19,20 +19,27 @@ func init() { register("fig12", runFig12) }
 // writes and confidence updates), and sequence fetch (signature streaming).
 // Paper headline: average overhead is small — 17% for applications above
 // 1 byte/instruction, at most ~15% extra traffic for bandwidth-hungry
-// applications.
+// applications. The timing cells are shared with table3's LT-cords column.
 func runFig12(o Options) (*Report, error) {
 	ps, err := o.presets()
 	if err != nil {
 		return nil, err
 	}
+	s := o.sched()
+	tasks := make([]runner.Task[timingRun], len(ps))
+	for i, p := range ps {
+		tasks[i] = o.timingCell(s, p, ltPF(core.DefaultParams()),
+			timingParams(p), cache.Config{}, cache.Config{})
+	}
+	runs, err := runner.All(s, tasks)
+	if err != nil {
+		return nil, err
+	}
+
 	tab := textplot.NewTable("benchmark", "base B/i", "incorrect B/i", "seq-create B/i", "seq-fetch B/i", "total B/i", "overhead")
 	var overheads []float64
-	for _, p := range ps {
-		lt := core.MustNew(sim.PaperL1D(), core.DefaultParams())
-		r, err := runTiming(p, o, lt, timingParams(p), cache.Config{}, cache.Config{})
-		if err != nil {
-			return nil, err
-		}
+	for i, p := range ps {
+		r := runs[i].Res
 		instr := float64(r.Instrs)
 		base := float64(r.BytesBaseData) / instr
 		inc := float64(r.BytesIncorrect) / instr

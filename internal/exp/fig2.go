@@ -3,9 +3,7 @@ package exp
 import (
 	"fmt"
 
-	"repro/internal/cache"
-	"repro/internal/cpu"
-	"repro/internal/sim"
+	"repro/internal/runner"
 	"repro/internal/stats"
 	"repro/internal/textplot"
 )
@@ -16,32 +14,37 @@ func init() { register("fig2", runFig2) }
 // dead-times (cycles between a block's last touch and its eviction),
 // measured on the baseline timing model across all benchmarks. The paper's
 // headline: over 85% of dead-times exceed the ~200-cycle memory latency,
-// which is what gives last-touch prefetching its lookahead.
+// which is what gives last-touch prefetching its lookahead. The baseline
+// timing cells are shared with table2 and table3.
 func runFig2(o Options) (*Report, error) {
 	ps, err := o.presets()
 	if err != nil {
 		return nil, err
 	}
+	s := o.sched()
+	tasks := make([]runner.Task[timingRun], len(ps))
+	for i, p := range ps {
+		tasks[i] = o.baselineTimingCell(s, p)
+	}
+	runs, err := runner.All(s, tasks)
+	if err != nil {
+		return nil, err
+	}
+
 	merged := stats.NewLog2Histogram(36)
 	perBench := textplot.NewTable("benchmark", "evictions", ">64cyc", ">200cyc", ">1Kcyc", ">16Kcyc")
-	for _, p := range ps {
-		params := timingParams(p)
-		params.DeadTimes = stats.NewLog2Histogram(36)
-		e, err := cpu.NewEngine(params, cache.Config{}, cache.Config{})
-		if err != nil {
-			return nil, err
-		}
-		e.Run(p.Source(o.Scale, o.seed()), sim.Null{})
-		if err := merged.Merge(params.DeadTimes); err != nil {
+	for i, p := range ps {
+		dt := runs[i].DeadTimes
+		if err := merged.Merge(dt); err != nil {
 			return nil, err
 		}
 		perBench.AddRow(p.Name,
-			textplot.U(params.DeadTimes.Total()),
-			textplot.Pct(params.DeadTimes.FractionAbove(64)),
-			textplot.Pct(params.DeadTimes.FractionAbove(200)),
-			textplot.Pct(params.DeadTimes.FractionAbove(1024)),
-			textplot.Pct(params.DeadTimes.FractionAbove(16384)))
-		o.progress("fig2 %s done (%d evictions)", p.Name, params.DeadTimes.Total())
+			textplot.U(dt.Total()),
+			textplot.Pct(dt.FractionAbove(64)),
+			textplot.Pct(dt.FractionAbove(200)),
+			textplot.Pct(dt.FractionAbove(1024)),
+			textplot.Pct(dt.FractionAbove(16384)))
+		o.progress("fig2 %s done (%d evictions)", p.Name, dt.Total())
 	}
 
 	// The figure's x-axis buckets (1, 4, 16, ..., >16384 cycles).

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/dbcp"
 	"repro/internal/mem"
+	"repro/internal/runner"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/textplot"
@@ -21,33 +22,40 @@ var fig4Sizes = []int{16 * mem.KiB, 64 * mem.KiB, 160 * mem.KiB, 640 * mem.KiB, 
 
 // runFig4 reproduces Figure 4: DBCP prefetch coverage as a function of
 // on-chip correlation table size, normalized to DBCP with unlimited
-// storage; the average and the worst-case benchmark are reported.
+// storage; the average and the worst-case benchmark are reported. The
+// unlimited-DBCP cells are shared with fig8's oracle bound.
 func runFig4(o Options) (*Report, error) {
 	ps, err := o.presets()
 	if err != nil {
 		return nil, err
 	}
+	s := o.sched()
+	// One unlimited cell plus one per finite size, per preset.
+	stride := 1 + len(fig4Sizes)
+	tasks := make([]runner.Task[sim.Coverage], 0, len(ps)*stride)
+	for _, p := range ps {
+		tasks = append(tasks, o.dbcpCoverageCell(p, dbcp.UnlimitedParams(), sim.CoverageConfig{}))
+		for _, size := range fig4Sizes {
+			pp := dbcp.DefaultParams()
+			pp.TableBytes = size
+			tasks = append(tasks, o.dbcpCoverageCell(p, pp, sim.CoverageConfig{}))
+		}
+	}
+	covs, err := runner.All(s, tasks)
+	if err != nil {
+		return nil, err
+	}
+
 	type row struct {
 		name string
 		norm []float64 // per size, coverage normalized to unlimited
 	}
 	var rows []row
-	for _, p := range ps {
-		unl := dbcp.MustNew(sim.PaperL1D(), dbcp.UnlimitedParams())
-		covU, err := sim.RunCoverage(p.Source(o.Scale, o.seed()), unl, sim.CoverageConfig{})
-		if err != nil {
-			return nil, err
-		}
-		base := covU.CoveragePct()
+	for pi, p := range ps {
+		base := covs[pi*stride].CoveragePct()
 		r := row{name: p.Name, norm: make([]float64, len(fig4Sizes))}
-		for i, size := range fig4Sizes {
-			pp := dbcp.DefaultParams()
-			pp.TableBytes = size
-			fin := dbcp.MustNew(sim.PaperL1D(), pp)
-			cov, err := sim.RunCoverage(p.Source(o.Scale, o.seed()), fin, sim.CoverageConfig{})
-			if err != nil {
-				return nil, err
-			}
+		for i := range fig4Sizes {
+			cov := covs[pi*stride+1+i]
 			if base > 0.005 {
 				r.norm[i] = cov.CoveragePct() / base
 				if r.norm[i] > 1 {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/corr"
+	"repro/internal/runner"
 	"repro/internal/textplot"
 )
 
@@ -12,19 +13,27 @@ func init() {
 	register("fig6right", runFig6Right)
 }
 
-// analyzeAll runs the corr study once per benchmark.
+// analyzeAll runs the corr study once per benchmark. The cells are shared
+// by fig6left, fig6right and fig7: within one scheduler each benchmark is
+// analyzed exactly once.
 func analyzeAll(o Options) (map[string]corr.Result, []string, error) {
 	ps, err := o.presets()
 	if err != nil {
 		return nil, nil, err
 	}
+	s := o.sched()
+	tasks := make([]runner.Task[corr.Result], len(ps))
+	for i, p := range ps {
+		tasks[i] = o.corrCell(p, corr.Config{})
+	}
+	res, err := runner.All(s, tasks)
+	if err != nil {
+		return nil, nil, err
+	}
 	out := map[string]corr.Result{}
 	var order []string
-	for _, p := range ps {
-		r, err := corr.Analyze(p.Source(o.Scale, o.seed()), corr.Config{})
-		if err != nil {
-			return nil, nil, err
-		}
+	for i, p := range ps {
+		r := res[i]
 		out[p.Name] = r
 		order = append(order, p.Name)
 		o.progress("corr %s done (%d misses, perfect %.1f%%)", p.Name, r.Misses, r.PerfectFrac()*100)

@@ -8,6 +8,7 @@ import (
 	"repro/internal/cpu"
 	"repro/internal/dbcp"
 	"repro/internal/ghb"
+	"repro/internal/runner"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/workload"
@@ -85,14 +86,20 @@ func TestPaperShapes(t *testing.T) {
 	t.Run("SpeedupOrderingOnMcf", func(t *testing.T) {
 		// Table 3's marquee row: mcf. Perfect L1 >> LT-cords >> GHB ~ 0.
 		p, _ := workload.ByName("mcf")
+		s := runner.New(1)
 		run := func(pf sim.Prefetcher, perfect bool) cpu.Result {
 			params := timingParams(p)
 			params.PerfectL1 = perfect
-			r, err := runTiming(p, o, pf, params, cache.Config{}, cache.Config{})
+			total, err := o.instrs(s, p)
 			if err != nil {
 				t.Fatal(err)
 			}
-			return r
+			params.WarmupInstrs = total * 30 / 100
+			e, err := cpu.NewEngine(params, cache.Config{}, cache.Config{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return e.Run(p.Source(o.Scale, o.seed()), pf)
 		}
 		base := run(sim.Null{}, false)
 		perfect := run(sim.Null{}, true)

@@ -1,47 +1,39 @@
 package exp
 
 import (
-	"repro/internal/cache"
+	"repro/internal/runner"
 	"repro/internal/sim"
 	"repro/internal/textplot"
-	"repro/internal/trace"
 )
 
 func init() { register("table2", runTable2) }
 
 // runTable2 reproduces Table 2: per-benchmark base L1D and L2 miss rates
-// (trace-driven) and base IPC (timing model, no predictor).
+// (trace-driven) and base IPC (timing model, no predictor). The timing
+// cells are shared with fig2 and table3.
 func runTable2(o Options) (*Report, error) {
 	ps, err := o.presets()
 	if err != nil {
 		return nil, err
 	}
+	s := o.sched()
+	missTasks := make([]runner.Task[missRates], len(ps))
+	timingTasks := make([]runner.Task[timingRun], len(ps))
+	for i, p := range ps {
+		missTasks[i] = o.missRateCell(p, sim.PaperL1D(), sim.PaperL2())
+		timingTasks[i] = o.baselineTimingCell(s, p)
+	}
+	misses, runs, err := runner.All2(s, missTasks, timingTasks)
+	if err != nil {
+		return nil, err
+	}
+
 	tab := textplot.NewTable("benchmark", "suite", "L1 miss %", "L2 miss %", "IPC")
-	for _, p := range ps {
-		// Trace-driven miss rates.
-		l1 := cache.MustNew(sim.PaperL1D())
-		l2 := cache.MustNew(sim.PaperL2())
-		src := p.Source(o.Scale, o.seed())
-		var now uint64
-		for {
-			ref, ok := src.Next()
-			if !ok {
-				break
-			}
-			now += uint64(ref.Gap) + 1
-			if !l1.Access(ref.Addr, ref.Kind == trace.Store, now).Hit {
-				l2.Access(ref.Addr, false, now)
-			}
-		}
-		// Timing IPC.
-		r, err := runTiming(p, o, sim.Null{}, timingParams(p), cache.Config{}, cache.Config{})
-		if err != nil {
-			return nil, err
-		}
+	for i, p := range ps {
 		tab.AddRow(p.Name, p.Suite,
-			textplot.F1(l1.Stats().MissRate()*100),
-			textplot.F1(l2.Stats().MissRate()*100),
-			textplot.F2(r.IPC()))
+			textplot.F1(misses[i].L1*100),
+			textplot.F1(misses[i].L2*100),
+			textplot.F2(runs[i].Res.IPC()))
 		o.progress("table2 %s done", p.Name)
 	}
 	rep := &Report{

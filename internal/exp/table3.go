@@ -7,6 +7,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dbcp"
 	"repro/internal/ghb"
+	"repro/internal/runner"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/textplot"
@@ -17,20 +18,20 @@ func init() { register("table3", runTable3) }
 // table3Config is one machine configuration of the comparison.
 type table3Config struct {
 	name string
-	pf   func() sim.Prefetcher // nil: no predictor
-	l2   func() cache.Config   // nil: paper L2
-	perf bool                  // perfect L1
+	pf   pfSpec              // prefetcher factory + cell fingerprint
+	l2   func() cache.Config // nil: paper L2
+	perf bool                // perfect L1
 }
 
 func table3Configs() []table3Config {
 	return []table3Config{
-		{name: "Perfect L1", perf: true},
-		{name: "LT-cords", pf: func() sim.Prefetcher { return core.MustNew(sim.PaperL1D(), core.DefaultParams()) }},
-		{name: "GHB", pf: func() sim.Prefetcher { return ghb.MustNew(sim.PaperL1D(), ghb.DefaultParams()) }},
+		{name: "Perfect L1", pf: nullPF(), perf: true},
+		{name: "LT-cords", pf: ltPF(core.DefaultParams())},
+		{name: "GHB", pf: ghbPF(ghb.DefaultParams())},
 		// DBCP uses the scaled table: the equivalent, for our workload
 		// footprints, of the paper's 2MB table against SPEC footprints.
-		{name: "DBCP", pf: func() sim.Prefetcher { return dbcp.MustNew(sim.PaperL1D(), dbcp.ScaledParams()) }},
-		{name: "4MB L2", l2: func() cache.Config { return sim.PaperL2Big() }},
+		{name: "DBCP", pf: dbcpPF(dbcp.ScaledParams())},
+		{name: "4MB L2", pf: nullPF(), l2: func() cache.Config { return sim.PaperL2Big() }},
 	}
 }
 
@@ -38,13 +39,35 @@ func table3Configs() []table3Config {
 // baseline for Perfect L1, LT-cords, GHB PC/DC, DBCP (2MB table) and a
 // quadrupled L2, per benchmark and as suite means. Paper headline ordering:
 // Perfect L1 (123%) > LT-cords (60%) > GHB (31%) > DBCP-2MB (17%) ~ 4MB L2
-// (16%).
+// (16%). The baseline cells are shared with fig2/table2; the LT-cords
+// cells with fig12.
 func runTable3(o Options) (*Report, error) {
 	ps, err := o.presets()
 	if err != nil {
 		return nil, err
 	}
 	cfgs := table3Configs()
+	s := o.sched()
+	// Per preset: one baseline cell followed by one cell per configuration.
+	stride := 1 + len(cfgs)
+	tasks := make([]runner.Task[timingRun], 0, len(ps)*stride)
+	for _, p := range ps {
+		tasks = append(tasks, o.baselineTimingCell(s, p))
+		for _, c := range cfgs {
+			params := timingParams(p)
+			params.PerfectL1 = c.perf
+			l2cfg := cache.Config{}
+			if c.l2 != nil {
+				l2cfg = c.l2()
+			}
+			tasks = append(tasks, o.timingCell(s, p, c.pf, params, cache.Config{}, l2cfg))
+		}
+	}
+	runs, err := runner.All(s, tasks)
+	if err != nil {
+		return nil, err
+	}
+
 	headers := []string{"benchmark", "suite", "base IPC"}
 	for _, c := range cfgs {
 		headers = append(headers, c.name)
@@ -56,27 +79,11 @@ func runTable3(o Options) (*Report, error) {
 		suiteVals[c.name] = map[string][]float64{}
 	}
 
-	for _, p := range ps {
-		base, err := runTiming(p, o, sim.Null{}, timingParams(p), cache.Config{}, cache.Config{})
-		if err != nil {
-			return nil, err
-		}
+	for pi, p := range ps {
+		base := runs[pi*stride].Res
 		row := []string{p.Name, p.Suite, textplot.F2(base.MeasuredIPC())}
-		for _, c := range cfgs {
-			params := timingParams(p)
-			params.PerfectL1 = c.perf
-			l2cfg := cache.Config{}
-			if c.l2 != nil {
-				l2cfg = c.l2()
-			}
-			var pf sim.Prefetcher = sim.Null{}
-			if c.pf != nil {
-				pf = c.pf()
-			}
-			r, err := runTiming(p, o, pf, params, cache.Config{}, l2cfg)
-			if err != nil {
-				return nil, err
-			}
+		for ci, c := range cfgs {
+			r := runs[pi*stride+1+ci].Res
 			sp := stats.PercentChange(float64(base.MeasuredCycles()), float64(r.MeasuredCycles()))
 			row = append(row, fmt.Sprintf("%+.0f%%", sp))
 			suiteVals[c.name][p.Suite] = append(suiteVals[c.name][p.Suite], sp)

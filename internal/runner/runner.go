@@ -1,0 +1,232 @@
+// Package runner schedules experiment simulation cells across a worker
+// pool and memoizes their results in a concurrency-safe cache.
+//
+// A cell is one independent unit of simulation work (for the experiments:
+// one preset × scale × seed × cache-config × prefetcher combination)
+// identified by a fingerprint key that captures every input affecting its
+// result. Figures submit batches of cells through Map; the scheduler fans
+// them out over Parallelism workers and returns results in submission
+// order, so aggregation is an ordered reduction and reports are
+// bit-identical at any parallelism. Cells that several figures share
+// (the baseline timing runs, the correlation analyses, the oracle-DBCP
+// coverage runs) are simulated exactly once per scheduler and served from
+// the cache afterwards.
+//
+// Cell Run functions must be deterministic and self-contained: they build
+// their own trace sources and predictors, and they may submit nested cells
+// through Do (nested cells execute inline in the calling worker, so no
+// worker is ever parked waiting for a free slot). Cached results are
+// shared between all consumers of a key and must be treated as immutable.
+package runner
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Cell is one memoizable unit of simulation work.
+type Cell struct {
+	// Key fingerprints every input that affects the result. Two cells with
+	// equal keys must compute identical values; the second is served from
+	// the cache.
+	Key string
+	// Run computes the cell's value. It must be deterministic.
+	Run func() (any, error)
+}
+
+// Stats counts cell traffic through a scheduler.
+type Stats struct {
+	// Submitted is the number of cells handed to Do or Map.
+	Submitted uint64 `json:"submitted"`
+	// Executed is the number of cells actually simulated (cache misses).
+	Executed uint64 `json:"executed"`
+	// Hits is the number of cells served from the cache, including waits
+	// on a cell already in flight on another worker.
+	Hits uint64 `json:"hits"`
+}
+
+// HitRate returns the fraction of submitted cells eliminated by the cache.
+func (s Stats) HitRate() float64 {
+	if s.Submitted == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Submitted)
+}
+
+type entry struct {
+	done chan struct{} // closed when val/err are final
+	val  any
+	err  error
+}
+
+// cellError attributes a failure to the cell that produced it. Nested
+// cells keep the innermost (root-cause) attribution: Do does not
+// re-wrap an error that already carries one.
+type cellError struct {
+	key string
+	err error
+}
+
+func (e *cellError) Error() string { return fmt.Sprintf("runner: cell %q: %v", e.key, e.err) }
+func (e *cellError) Unwrap() error { return e.err }
+
+// Scheduler executes cells across a worker pool with a shared result
+// cache. A single Scheduler may be shared across many experiments (and
+// goroutines); sharing is what enables the cross-figure cache.
+type Scheduler struct {
+	workers int
+
+	mu    sync.Mutex
+	cells map[string]*entry
+	stats Stats
+}
+
+// New creates a scheduler. parallelism <= 0 selects GOMAXPROCS workers.
+func New(parallelism int) *Scheduler {
+	if parallelism <= 0 {
+		parallelism = runtime.GOMAXPROCS(0)
+	}
+	return &Scheduler{workers: parallelism, cells: map[string]*entry{}}
+}
+
+// Parallelism returns the worker count.
+func (s *Scheduler) Parallelism() int { return s.workers }
+
+// Stats returns a snapshot of the cell counters.
+func (s *Scheduler) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// Do executes one cell in the calling goroutine, memoized by key: the
+// first submission of a key runs it, every later submission (and any
+// concurrent duplicate) waits for and shares that result. Errors are
+// cached like values — a deterministic cell fails the same way every time.
+func (s *Scheduler) Do(c Cell) (any, error) {
+	if c.Key == "" {
+		return nil, fmt.Errorf("runner: cell with empty key")
+	}
+	s.mu.Lock()
+	s.stats.Submitted++
+	if e, ok := s.cells[c.Key]; ok {
+		s.stats.Hits++
+		s.mu.Unlock()
+		<-e.done
+		return e.val, e.err
+	}
+	e := &entry{done: make(chan struct{})}
+	s.cells[c.Key] = e
+	s.stats.Executed++
+	s.mu.Unlock()
+	e.val, e.err = c.Run()
+	var ce *cellError
+	if e.err != nil && !errors.As(e.err, &ce) {
+		e.err = &cellError{key: c.Key, err: e.err}
+	}
+	close(e.done)
+	return e.val, e.err
+}
+
+// Map executes a batch of cells across the worker pool and returns their
+// values in submission order (the ordered reduction that keeps reports
+// deterministic). The first failing cell — first in submission order among
+// those that ran — aborts the batch: workers stop claiming new cells and
+// its error is returned. Cells already in flight run to completion and
+// stay cached.
+func (s *Scheduler) Map(cells []Cell) ([]any, error) {
+	out := make([]any, len(cells))
+	errs := make([]error, len(cells))
+	workers := s.workers
+	if workers > len(cells) {
+		workers = len(cells)
+	}
+	var next atomic.Int64
+	var failed atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(cells) || failed.Load() {
+					return
+				}
+				out[i], errs[i] = s.Do(cells[i])
+				if errs[i] != nil {
+					failed.Store(true)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// Task is a Cell with a typed result.
+type Task[T any] struct {
+	Key string
+	Run func() (T, error)
+}
+
+// erase wraps typed tasks as Cells.
+func erase[T any](tasks []Task[T], cells []Cell) []Cell {
+	for _, t := range tasks {
+		run := t.Run
+		cells = append(cells, Cell{Key: t.Key, Run: func() (any, error) { return run() }})
+	}
+	return cells
+}
+
+// assert converts a Map result slice back to T.
+func assert[T any](tasks []Task[T], vals []any) ([]T, error) {
+	out := make([]T, len(vals))
+	for i, v := range vals {
+		tv, ok := v.(T)
+		if !ok {
+			// A key collision between cells of different result types.
+			return nil, fmt.Errorf("runner: cell %q cached a %T, want %T", tasks[i].Key, v, out[i])
+		}
+		out[i] = tv
+	}
+	return out, nil
+}
+
+// All executes typed tasks through the scheduler's Map and returns the
+// results in submission order.
+func All[T any](s *Scheduler, tasks []Task[T]) ([]T, error) {
+	vals, err := s.Map(erase(tasks, make([]Cell, 0, len(tasks))))
+	if err != nil {
+		return nil, err
+	}
+	return assert(tasks, vals)
+}
+
+// All2 executes two independently typed task batches in a single
+// worker-pool pass — no barrier between the batches, so workers drain
+// both without idling on the slowest cell of the first.
+func All2[A, B any](s *Scheduler, as []Task[A], bs []Task[B]) ([]A, []B, error) {
+	cells := erase(bs, erase(as, make([]Cell, 0, len(as)+len(bs))))
+	vals, err := s.Map(cells)
+	if err != nil {
+		return nil, nil, err
+	}
+	outA, err := assert(as, vals[:len(as)])
+	if err != nil {
+		return nil, nil, err
+	}
+	outB, err := assert(bs, vals[len(as):])
+	if err != nil {
+		return nil, nil, err
+	}
+	return outA, outB, nil
+}

@@ -3,6 +3,7 @@
 package textplot
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"strings"
@@ -33,6 +34,18 @@ func (t *Table) Cell(row, col int) string {
 		return ""
 	}
 	return t.rows[row][col]
+}
+
+// MarshalJSON renders the table as {"headers": [...], "rows": [[...]]}.
+func (t *Table) MarshalJSON() ([]byte, error) {
+	rows := t.rows
+	if rows == nil {
+		rows = [][]string{}
+	}
+	return json.Marshal(struct {
+		Headers []string   `json:"headers"`
+		Rows    [][]string `json:"rows"`
+	}{t.headers, rows})
 }
 
 func (t *Table) widths() []int {

@@ -24,6 +24,7 @@ import (
 	"repro/internal/runner"
 	"repro/internal/sim"
 	"repro/internal/stats"
+	"repro/internal/trace"
 	"repro/internal/workload"
 )
 
@@ -135,6 +136,81 @@ func BenchmarkExpAllCells(b *testing.B) {
 				b.ReportMetric(float64(st.Executed), "cells-simulated")
 			}
 		})
+	}
+}
+
+// ---- Core hot-path benchmarks (perf trajectory; `make bench` snapshots
+// these three into BENCH_core.json) ----
+//
+// Each drives exactly b.N references through one long-lived simulation, so
+// ns/op is the per-reference cost and allocs/op measures the steady-state
+// loop: the zero-alloc pipeline invariant (DESIGN.md §"Reference pipeline")
+// holds when allocs/op reports 0.
+
+// cyclic regenerates mk() whenever the stream runs dry, yielding an
+// unbounded source; callers bound it with trace.Limit.
+func cyclic(mk func() trace.Source) trace.Source {
+	cur := mk()
+	return trace.FillFunc(func(buf []trace.Ref) int {
+		for {
+			if n := cur.ReadRefs(buf); n > 0 {
+				return n
+			}
+			cur = mk()
+		}
+	})
+}
+
+// BenchmarkCoverage is the headline steady-state benchmark: the coverage
+// driver with the full LT-cords predictor, per-reference cost and allocs.
+func BenchmarkCoverage(b *testing.B) {
+	p, _ := workload.ByName("swim")
+	src := trace.Limit(cyclic(func() trace.Source { return p.Source(workload.Small, 1) }), uint64(b.N))
+	lt := core.MustNew(sim.PaperL1D(), core.DefaultParams())
+	b.ReportAllocs()
+	b.ResetTimer()
+	cov, err := sim.RunCoverage(src, lt, sim.CoverageConfig{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if cov.Refs != uint64(b.N) {
+		b.Fatalf("simulated %d refs, want %d", cov.Refs, b.N)
+	}
+}
+
+// BenchmarkTimingModel measures the cycle-level engine's per-reference cost
+// on the dependence-heavy mcf preset with LT-cords attached.
+func BenchmarkTimingModel(b *testing.B) {
+	p, _ := workload.ByName("mcf")
+	params := cpu.DefaultParams()
+	params.BranchMPKI = p.BranchMPKI
+	e, err := cpu.NewEngine(params, cache.Config{}, cache.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	src := trace.Limit(cyclic(func() trace.Source { return p.Source(workload.Small, 1) }), uint64(b.N))
+	lt := core.MustNew(sim.PaperL1D(), core.DefaultParams())
+	b.ReportAllocs()
+	b.ResetTimer()
+	res := e.Run(src, lt)
+	if res.Refs != uint64(b.N) {
+		b.Fatalf("simulated %d refs, want %d", res.Refs, b.N)
+	}
+}
+
+// BenchmarkTraceGen measures raw batch reference generation throughput.
+func BenchmarkTraceGen(b *testing.B) {
+	p, _ := workload.ByName("swim")
+	src := cyclic(func() trace.Source { return p.Source(workload.Large, 1) })
+	buf := make([]trace.Ref, trace.DefaultBatch)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for remaining := b.N; remaining > 0; {
+		want := len(buf)
+		if remaining < want {
+			want = remaining
+		}
+		remaining -= src.ReadRefs(buf[:want])
 	}
 }
 

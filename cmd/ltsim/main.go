@@ -13,6 +13,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"repro/internal/cache"
 	"repro/internal/core"
@@ -45,7 +47,13 @@ func buildPredictor(name string) (sim.Prefetcher, error) {
 	return nil, fmt.Errorf("unknown predictor %q (none|lt-cords|dbcp|dbcp-unlimited|ghb|stride)", name)
 }
 
+// main delegates to run so that deferred profile writers always execute
+// before the process exits (os.Exit would skip them).
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
 	var (
 		bench   = flag.String("bench", "mcf", "benchmark preset name")
 		traceIn = flag.String("trace", "", "binary trace file to simulate instead of a preset (see lttrace)")
@@ -57,19 +65,51 @@ func main() {
 		withL2  = flag.Bool("withl2", false, "track L2 misses in coverage mode")
 		list    = flag.Bool("list", false, "list benchmark presets and exit")
 		perfect = flag.Bool("perfect", false, "perfect L1 (timing mode upper bound)")
+		cpuProf = flag.String("cpuprofile", "", "write a CPU profile of the simulation to this file")
+		memProf = flag.String("memprofile", "", "write a heap profile (taken after the run) to this file")
 	)
 	flag.Parse()
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ltsim:", err)
+			return 1
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "ltsim:", err)
+			return 1
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProf != "" {
+		f, err := os.Create(*memProf)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ltsim:", err)
+			return 1
+		}
+		// The heap profile is written when the simulation finishes, so the
+		// hot path's steady-state allocations dominate the sample.
+		defer func() {
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "ltsim:", err)
+			}
+			f.Close()
+		}()
+	}
 
 	if *list {
 		for _, p := range workload.Presets() {
 			fmt.Printf("%-9s %-8s corr=%-8s mpki=%.1f dep=%v\n", p.Name, p.Suite, p.Corr, p.BranchMPKI, p.DepHeavy)
 		}
-		return
+		return 0
 	}
 	pf, err := buildPredictor(*pred)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ltsim:", err)
-		os.Exit(2)
+		return 2
 	}
 	var src trace.Source
 	var p workload.Preset
@@ -78,13 +118,13 @@ func main() {
 		f, err := os.Open(*traceIn)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "ltsim:", err)
-			os.Exit(1)
+			return 1
 		}
 		defer f.Close()
 		r, err := trace.NewReader(f)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "ltsim:", err)
-			os.Exit(1)
+			return 1
 		}
 		src = r
 		p.Name = *traceIn
@@ -93,12 +133,12 @@ func main() {
 		p, ok = workload.ByName(*bench)
 		if !ok {
 			fmt.Fprintf(os.Stderr, "ltsim: unknown benchmark %q (try -list)\n", *bench)
-			os.Exit(2)
+			return 2
 		}
 		sc, err = workload.ParseScale(*scale)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "ltsim:", err)
-			os.Exit(2)
+			return 2
 		}
 		src = p.Source(sc, *seed)
 	}
@@ -112,7 +152,7 @@ func main() {
 		e, err := cpu.NewEngine(params, cache.Config{}, l2)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "ltsim:", err)
-			os.Exit(1)
+			return 1
 		}
 		r := e.Run(src, pf)
 		fmt.Printf("benchmark:      %s (%s scale, seed %d)\n", p.Name, sc, *seed)
@@ -131,14 +171,14 @@ func main() {
 			float64(r.BytesSeqWrite)/float64(r.Instrs),
 			float64(r.BytesSeqFetch)/float64(r.Instrs))
 		fmt.Printf("mem bus util:   %.1f%%\n", e.MemBusUtilization()*100)
-		return
+		return 0
 	}
 
 	cfg := sim.CoverageConfig{WithL2: *withL2}
 	cov, err := sim.RunCoverage(src, pf, cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ltsim:", err)
-		os.Exit(1)
+		return 1
 	}
 	fmt.Printf("benchmark:    %s (%s scale, seed %d)\n", p.Name, sc, *seed)
 	fmt.Printf("predictor:    %s\n", cov.Predictor)
@@ -160,4 +200,5 @@ func main() {
 		fmt.Printf("              onchip=%dKB offchip-traffic write=%dKB fetch=%dKB\n",
 			lt.OnChipBytes()/1024, (st.SeqWriteBytes+st.ConfWriteBytes)/1024, st.SeqFetchBytes/1024)
 	}
+	return 0
 }

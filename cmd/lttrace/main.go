@@ -54,12 +54,13 @@ func main() {
 			fail(err)
 		}
 		src := p.Source(sc, *seed)
+		buf := make([]trace.Ref, trace.DefaultBatch)
 		for {
-			r, ok := src.Next()
-			if !ok {
+			n := src.ReadRefs(buf)
+			if n == 0 {
 				break
 			}
-			if err := w.Write(r); err != nil {
+			if err := w.WriteRefs(buf[:n]); err != nil {
 				fail(err)
 			}
 		}
@@ -82,18 +83,14 @@ func main() {
 		}
 		var st trace.Stats
 		n := 0
-		for {
-			ref, ok := r.Next()
-			if !ok {
-				break
-			}
+		trace.ForEach(r, func(ref trace.Ref) {
 			st.Observe(ref)
 			if *head > 0 && n < *head {
 				fmt.Printf("%8d pc=%#x addr=%#x %s gap=%d dep=%v ctx=%d\n",
 					n, uint64(ref.PC), uint64(ref.Addr), ref.Kind, ref.Gap, ref.Dep, ref.Ctx)
 			}
 			n++
-		}
+		})
 		if err := r.Err(); err != nil {
 			fail(err)
 		}

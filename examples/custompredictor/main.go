@@ -28,15 +28,15 @@ type nextN struct {
 // Name implements sim.Prefetcher.
 func (p *nextN) Name() string { return fmt.Sprintf("next-%d", p.n) }
 
-// OnAccess implements sim.Prefetcher: on a miss, fetch the next n blocks.
-func (p *nextN) OnAccess(ref trace.Ref, hit bool, evicted *cache.EvictInfo) []sim.Prediction {
+// OnAccess implements sim.Prefetcher: on a miss, append the next n blocks
+// to the driver's scratch buffer.
+func (p *nextN) OnAccess(ref trace.Ref, hit bool, evicted *cache.EvictInfo, preds []sim.Prediction) []sim.Prediction {
 	if hit {
-		return nil
+		return preds
 	}
 	blk := p.geo.BlockAddr(ref.Addr)
-	preds := make([]sim.Prediction, p.n)
-	for i := range preds {
-		preds[i] = sim.Prediction{Addr: blk + mem.Addr((i+1)*p.geo.BlockSize())}
+	for i := 0; i < p.n; i++ {
+		preds = append(preds, sim.Prediction{Addr: blk + mem.Addr((i+1)*p.geo.BlockSize())})
 	}
 	return preds
 }

@@ -359,6 +359,6 @@ func BenchmarkLTCordsPerRef(b *testing.B) {
 		if res.Evicted.Valid {
 			ev = &res.Evicted
 		}
-		pr.OnAccess(ref, res.Hit, ev)
+		pr.OnAccess(ref, res.Hit, ev, nil)
 	}
 }

@@ -139,8 +139,9 @@ func (pr *Predictor) Stats() Stats { return pr.stats }
 
 // OnAccess implements sim.Prefetcher: it records signatures at evictions,
 // looks the current signature up on chip, issues last-touch prefetches, and
-// advances sliding windows / activates fragments.
-func (pr *Predictor) OnAccess(ref trace.Ref, hit bool, evicted *cache.EvictInfo) []sim.Prediction {
+// advances sliding windows / activates fragments. Predictions are appended
+// to the driver-owned preds buffer (never retained).
+func (pr *Predictor) OnAccess(ref trace.Ref, hit bool, evicted *cache.EvictInfo, preds []sim.Prediction) []sim.Prediction {
 	set := pr.geo.Index(ref.Addr)
 	curTag := pr.geo.Tag(ref.Addr)
 	curBlock := pr.geo.BlockAddr(ref.Addr)
@@ -160,7 +161,6 @@ func (pr *Predictor) OnAccess(ref trace.Ref, hit bool, evicted *cache.EvictInfo)
 		pr.verifyAndRecord(evictSig, curBlock)
 	}
 
-	var preds []sim.Prediction
 	if e := pr.sc.lookup(cur); e != nil {
 		pr.stats.SigCacheHits++
 		// Consume: advance this fragment's sliding window.

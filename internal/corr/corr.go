@@ -168,16 +168,12 @@ func Analyze(src trace.Source, cfg Config) (Result, error) {
 	}
 
 	var now uint64
-	for {
-		ref, ok := src.Next()
-		if !ok {
-			break
-		}
+	trace.ForEach(src, func(ref trace.Ref) {
 		now += uint64(ref.Gap) + 1
 		res.Refs++
 		r := l1.Access(ref.Addr, ref.Kind == trace.Store, now)
 		if r.Hit {
-			continue
+			return
 		}
 		missIdx++
 		res.Misses++
@@ -216,7 +212,7 @@ func Analyze(src trace.Source, cfg Config) (Result, error) {
 		}
 		prevLabel = label
 		havePrev = true
-	}
+	})
 	if havePrev {
 		lastIdx[prevLabel] = missIdx
 	}

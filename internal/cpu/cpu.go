@@ -176,18 +176,31 @@ type Engine struct {
 	instrs     uint64
 	issueCarry int // instructions not yet converted to cycles
 
-	rob []inflightOp // FIFO of in-flight memory ops (instruction order)
+	rob ring[inflightOp] // FIFO of in-flight memory ops (instruction order)
 
 	lastLoadDone uint64
 
-	pfQueue     []pendingPrefetch
+	pfQueue     ring[pendingPrefetch]
 	pfTracker   map[mem.Addr]uint64 // in-flight prefetch -> ready cycle
 	mshrScratch []uint64
 
 	branchDebtMicro uint64
-	lastEvict       *cache.EvictInfo // eviction of the most recent demand access
-	pfOffChip       uint64           // off-chip bytes fetched by L1-targeted prefetches
-	pfOffChipL2     uint64           // off-chip bytes fetched by L2-targeted prefetches
+	// lastEvict is the eviction of the most recent demand access; its
+	// address is handed to predictor hooks (which must not retain it),
+	// avoiding a per-miss heap allocation. Same for fillEvict, the slot for
+	// prefetch-fill evictions.
+	lastEvict      cache.EvictInfo
+	lastEvictValid bool
+	fillEvict      cache.EvictInfo
+
+	predScratch []sim.Prediction
+	pfOffChip   uint64 // off-chip bytes fetched by L1-targeted prefetches
+	pfOffChipL2 uint64 // off-chip bytes fetched by L2-targeted prefetches
+
+	// Per-run accounting for the predictor's own off-chip traffic deltas
+	// and the SMARTS warm-up boundary.
+	lastWrites, lastFetches uint64
+	warmed                  bool
 
 	res Result
 }
@@ -240,18 +253,18 @@ func (e *Engine) memBusIdleGrant(now uint64) uint64 { return now }
 // retire pops completed ops and enforces ROB/LSQ windows before issuing
 // instruction index instr.
 func (e *Engine) retire(instr uint64) {
-	for len(e.rob) > 0 {
-		head := e.rob[0]
+	for e.rob.len() > 0 {
+		head := *e.rob.at(0)
 		if head.done <= e.cycle {
-			e.rob = e.rob[1:]
+			e.rob.pop()
 			continue
 		}
 		// Window constraints: the head blocks retirement. If the new
 		// instruction would overflow the ROB (instruction distance) or the
 		// LSQ (memory ops in flight), stall until the head completes.
-		if instr-head.instr >= uint64(e.p.ROB) || len(e.rob) >= e.p.LSQ {
+		if instr-head.instr >= uint64(e.p.ROB) || e.rob.len() >= e.p.LSQ {
 			e.cycle = head.done
-			e.rob = e.rob[1:]
+			e.rob.pop()
 			continue
 		}
 		break
@@ -264,8 +277,8 @@ func (e *Engine) retire(instr uint64) {
 // (k-MSHRs+1)-th completion).
 func (e *Engine) mshrGate(at uint64) uint64 {
 	dones := e.mshrScratch[:0]
-	for i := range e.rob {
-		op := &e.rob[i]
+	for i := 0; i < e.rob.len(); i++ {
+		op := e.rob.at(i)
 		if op.isMiss && op.done > at {
 			dones = append(dones, op.done)
 		}
@@ -281,12 +294,11 @@ func (e *Engine) mshrGate(at uint64) uint64 {
 // drainPrefetches completes in-flight prefetches whose data has arrived,
 // filling the L1 (and informing mirror-keeping predictors).
 func (e *Engine) drainPrefetches(now uint64, filler sim.PrefetchFillObserver) {
-	i := 0
-	for ; i < len(e.pfQueue); i++ {
-		pp := e.pfQueue[i]
-		if pp.ready > now {
+	for e.pfQueue.len() > 0 {
+		if e.pfQueue.at(0).ready > now {
 			break
 		}
+		pp := e.pfQueue.pop()
 		delete(e.pfTracker, pp.addr)
 		if ev, inserted := e.l1.InsertPrefetch(pp.addr, pp.victim, pp.useVictim, now); inserted {
 			if e.p.DeadTimes != nil && ev.Valid {
@@ -295,14 +307,12 @@ func (e *Engine) drainPrefetches(now uint64, filler sim.PrefetchFillObserver) {
 			if filler != nil {
 				var ep *cache.EvictInfo
 				if ev.Valid {
-					ep = &ev
+					e.fillEvict = ev
+					ep = &e.fillEvict
 				}
 				filler.OnPrefetchFill(pp.addr, ep)
 			}
 		}
-	}
-	if i > 0 {
-		e.pfQueue = e.pfQueue[i:]
 	}
 }
 
@@ -314,10 +324,10 @@ func (e *Engine) fetchLatency(at uint64, addr mem.Addr, write bool) (uint64, boo
 	}
 	res := e.l1.Access(addr, write, at)
 	if res.Evicted.Valid {
-		ev := res.Evicted
-		e.lastEvict = &ev
+		e.lastEvict = res.Evicted
+		e.lastEvictValid = true
 		if e.p.DeadTimes != nil {
-			e.p.DeadTimes.Add(ev.DeadTime)
+			e.p.DeadTimes.Add(res.Evicted.DeadTime)
 		}
 	}
 	if res.Hit {
@@ -378,11 +388,19 @@ func (e *Engine) issuePrefetch(now uint64, p sim.Prediction) {
 	if _, inflight := e.pfTracker[block]; inflight {
 		return
 	}
-	if len(e.pfQueue) >= e.p.PrefetchQueue {
+	if e.pfQueue.len() >= e.p.PrefetchQueue {
 		// The request queue is full: new requests replace old unissued
 		// ones at the queue head (paper Section 5: "new requests replace
-		// old (unissued) ones at the queue head").
-		e.pfQueue = e.pfQueue[1:]
+		// old (unissued) ones at the queue head"). KNOWN MODEL
+		// SIMPLIFICATION, kept verbatim because experiment fingerprints
+		// pin it: the dropped request's pfTracker entry is not removed, so
+		// its L1 fill is lost but later demand misses to the block keep
+		// taking fetchLatency's merge path (at stale cost, no new bus
+		// traffic) and re-prefetching the block stays suppressed. The
+		// bus/DRAM reservation already happened at issue, so a correct
+		// drop needs the issue deferred until the request leaves the
+		// queue — see ROADMAP "prefetch-queue drop model rework".
+		e.pfQueue.pop()
 		e.res.PrefetchDrops++
 	}
 	grant := e.busL2.Reserve(now, 1+e.l1cfg.BlockSize/32, e.l1cfg.BlockSize)
@@ -395,110 +413,32 @@ func (e *Engine) issuePrefetch(now uint64, p sim.Prediction) {
 		e.pfOffChip += uint64(e.l1cfg.BlockSize) // split correct/incorrect at the end
 	}
 	e.res.PrefetchIssued++
-	e.pfQueue = append(e.pfQueue, pendingPrefetch{addr: block, victim: p.Victim, useVictim: p.UseVictim, ready: ready})
+	e.pfQueue.push(pendingPrefetch{addr: block, victim: p.Victim, useVictim: p.UseVictim, ready: ready})
 	e.pfTracker[block] = ready
 }
 
 // Run drives the reference stream through the timing model with the given
-// prefetcher (sim.Null{} for the baseline).
+// prefetcher (sim.Null{} for the baseline). References are pumped in fixed
+// batches reused across the run: steady-state simulation performs no heap
+// allocation per reference.
 func (e *Engine) Run(src trace.Source, pf sim.Prefetcher) Result {
 	filler, _ := pf.(sim.PrefetchFillObserver)
 	traffic, _ := pf.(OffChipTraffic)
-	var lastWrites, lastFetches uint64
-	warmed := e.p.WarmupInstrs == 0
+	e.lastWrites, e.lastFetches = 0, 0
+	e.warmed = e.p.WarmupInstrs == 0
 
-	for {
-		ref, ok := src.Next()
-		if !ok {
-			break
-		}
-		e.res.Refs++
-		n := uint64(ref.Gap) + 1
-		e.instrs += n
-		if !warmed && e.instrs >= e.p.WarmupInstrs {
-			warmed = true
-			e.res.WarmCycles = e.cycle
-			e.res.WarmInstrs = e.instrs
-		}
-
-		// Front-end: issue-width-limited instruction delivery.
-		e.issueCarry += int(n)
-		e.cycle += uint64(e.issueCarry / e.p.IssueWidth)
-		e.issueCarry %= e.p.IssueWidth
-
-		// Branch mispredictions at the workload's density: MPKI per 1000
-		// instructions, accumulated in micro-misprediction units.
-		if e.p.BranchMPKI > 0 {
-			e.branchDebtMicro += n * uint64(e.p.BranchMPKI*1000)
-			for e.branchDebtMicro >= 1_000_000 {
-				e.cycle += uint64(e.p.BranchPenalty)
-				e.res.BranchBubbles++
-				e.branchDebtMicro -= 1_000_000
-			}
-		}
-
-		e.retire(e.instrs)
-		e.drainPrefetches(e.cycle, filler)
-
-		issue := e.cycle
-		if ref.Dep && e.lastLoadDone > issue {
-			// Address depends on the previous load's value.
-			issue = e.lastLoadDone
-		}
-
-		// TLB.
-		if !e.tlb.Access(ref.Addr, false, e.cycle).Hit {
-			e.res.TLBMiss++
-			issue += uint64(e.p.TLBPenalty)
-		}
-
-		issue = e.mshrGate(issue)
-
-		write := ref.Kind == trace.Store
-		done, l1miss, l2miss, offBytes := e.fetchLatency(issue, ref.Addr, write)
-		e.res.BytesBaseData += offBytes
-		if l1miss {
-			e.res.L1Misses++
-		}
-		if l2miss {
-			e.res.L2Misses++
-		}
-		if !write {
-			e.lastLoadDone = done
-		}
-		// Stores commit without blocking (write buffer), but their fills
-		// occupy the machine like loads.
-		e.rob = append(e.rob, inflightOp{instr: e.instrs, done: done, isMiss: l1miss})
-
-		// Predictor hooks (committed-access observation).
-		preds := pf.OnAccess(ref, !l1miss, e.lastEvict)
-		e.lastEvict = nil
-		for _, p := range preds {
-			if e.l1.Geometry().BlockAddr(p.Addr) == e.l1.Geometry().BlockAddr(ref.Addr) {
-				continue
-			}
-			e.issuePrefetch(e.cycle, p)
-		}
-
-		// Charge the predictor's own off-chip traffic (LT-cords sequence
-		// creation and fetch) to the memory bus.
-		if traffic != nil {
-			w, f := traffic.OffChipTrafficBytes()
-			if dw := w - lastWrites; dw > 0 {
-				e.dram.WriteBlock(e.cycle, int(dw))
-				e.res.BytesSeqWrite += dw
-				lastWrites = w
-			}
-			if df := f - lastFetches; df > 0 {
-				e.dram.ReadBlock(e.cycle, int(df))
-				e.res.BytesSeqFetch += df
-				lastFetches = f
-			}
+	refBuf := make([]trace.Ref, trace.DefaultBatch)
+	if e.predScratch == nil {
+		e.predScratch = make([]sim.Prediction, 0, 16)
+	}
+	for nrefs := src.ReadRefs(refBuf); nrefs > 0; nrefs = src.ReadRefs(refBuf) {
+		for _, ref := range refBuf[:nrefs] {
+			e.step(ref, pf, filler, traffic)
 		}
 	}
 	// Drain: run to completion of all outstanding operations.
-	for _, op := range e.rob {
-		if op.done > e.cycle {
+	for i := 0; i < e.rob.len(); i++ {
+		if op := e.rob.at(i); op.done > e.cycle {
 			e.cycle = op.done
 		}
 	}
@@ -523,6 +463,97 @@ func (e *Engine) Run(src trace.Source, pf sim.Prefetcher) Result {
 	split(e.pfOffChip, e.l1.Stats())
 	split(e.pfOffChipL2, e.l2.Stats())
 	return e.res
+}
+
+// step advances the machine by one committed reference.
+func (e *Engine) step(ref trace.Ref, pf sim.Prefetcher, filler sim.PrefetchFillObserver, traffic OffChipTraffic) {
+	e.res.Refs++
+	n := uint64(ref.Gap) + 1
+	e.instrs += n
+	if !e.warmed && e.instrs >= e.p.WarmupInstrs {
+		e.warmed = true
+		e.res.WarmCycles = e.cycle
+		e.res.WarmInstrs = e.instrs
+	}
+
+	// Front-end: issue-width-limited instruction delivery.
+	e.issueCarry += int(n)
+	e.cycle += uint64(e.issueCarry / e.p.IssueWidth)
+	e.issueCarry %= e.p.IssueWidth
+
+	// Branch mispredictions at the workload's density: MPKI per 1000
+	// instructions, accumulated in micro-misprediction units.
+	if e.p.BranchMPKI > 0 {
+		e.branchDebtMicro += n * uint64(e.p.BranchMPKI*1000)
+		for e.branchDebtMicro >= 1_000_000 {
+			e.cycle += uint64(e.p.BranchPenalty)
+			e.res.BranchBubbles++
+			e.branchDebtMicro -= 1_000_000
+		}
+	}
+
+	e.retire(e.instrs)
+	e.drainPrefetches(e.cycle, filler)
+
+	issue := e.cycle
+	if ref.Dep && e.lastLoadDone > issue {
+		// Address depends on the previous load's value.
+		issue = e.lastLoadDone
+	}
+
+	// TLB.
+	if !e.tlb.Access(ref.Addr, false, e.cycle).Hit {
+		e.res.TLBMiss++
+		issue += uint64(e.p.TLBPenalty)
+	}
+
+	issue = e.mshrGate(issue)
+
+	write := ref.Kind == trace.Store
+	done, l1miss, l2miss, offBytes := e.fetchLatency(issue, ref.Addr, write)
+	e.res.BytesBaseData += offBytes
+	if l1miss {
+		e.res.L1Misses++
+	}
+	if l2miss {
+		e.res.L2Misses++
+	}
+	if !write {
+		e.lastLoadDone = done
+	}
+	// Stores commit without blocking (write buffer), but their fills
+	// occupy the machine like loads.
+	e.rob.push(inflightOp{instr: e.instrs, done: done, isMiss: l1miss})
+
+	// Predictor hooks (committed-access observation).
+	var evp *cache.EvictInfo
+	if e.lastEvictValid {
+		evp = &e.lastEvict
+	}
+	e.predScratch = pf.OnAccess(ref, !l1miss, evp, e.predScratch[:0])
+	e.lastEvictValid = false
+	for _, p := range e.predScratch {
+		if e.l1.Geometry().BlockAddr(p.Addr) == e.l1.Geometry().BlockAddr(ref.Addr) {
+			continue
+		}
+		e.issuePrefetch(e.cycle, p)
+	}
+
+	// Charge the predictor's own off-chip traffic (LT-cords sequence
+	// creation and fetch) to the memory bus.
+	if traffic != nil {
+		w, f := traffic.OffChipTrafficBytes()
+		if dw := w - e.lastWrites; dw > 0 {
+			e.dram.WriteBlock(e.cycle, int(dw))
+			e.res.BytesSeqWrite += dw
+			e.lastWrites = w
+		}
+		if df := f - e.lastFetches; df > 0 {
+			e.dram.ReadBlock(e.cycle, int(df))
+			e.res.BytesSeqFetch += df
+			e.lastFetches = f
+		}
+	}
 }
 
 // L1Stats exposes the L1 cache counters after a run.

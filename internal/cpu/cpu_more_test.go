@@ -16,11 +16,11 @@ type l2Prefetcher struct{ geo mem.Geometry }
 
 func (l2Prefetcher) Name() string { return "l2-next" }
 
-func (p l2Prefetcher) OnAccess(ref trace.Ref, hit bool, evicted *cache.EvictInfo) []sim.Prediction {
+func (p l2Prefetcher) OnAccess(ref trace.Ref, hit bool, evicted *cache.EvictInfo, preds []sim.Prediction) []sim.Prediction {
 	if hit {
-		return nil
+		return preds
 	}
-	return []sim.Prediction{{Addr: p.geo.BlockAddr(ref.Addr) + 64, ToL2: true}}
+	return append(preds, sim.Prediction{Addr: p.geo.BlockAddr(ref.Addr) + 64, ToL2: true})
 }
 
 // L2-targeted prefetches must reduce L2 misses (and cycles) on a stream
@@ -53,13 +53,12 @@ type floodPrefetcher struct{ geo mem.Geometry }
 
 func (floodPrefetcher) Name() string { return "flood" }
 
-func (p floodPrefetcher) OnAccess(ref trace.Ref, hit bool, evicted *cache.EvictInfo) []sim.Prediction {
+func (p floodPrefetcher) OnAccess(ref trace.Ref, hit bool, evicted *cache.EvictInfo, preds []sim.Prediction) []sim.Prediction {
 	blk := p.geo.BlockAddr(ref.Addr)
-	out := make([]sim.Prediction, 8)
-	for i := range out {
-		out[i] = sim.Prediction{Addr: blk + mem.Addr((i+1)*64)}
+	for i := 0; i < 8; i++ {
+		preds = append(preds, sim.Prediction{Addr: blk + mem.Addr((i+1)*64)})
 	}
-	return out
+	return preds
 }
 
 func TestPrefetchQueueOverflowDrops(t *testing.T) {

@@ -1,0 +1,51 @@
+package cpu
+
+// ring is a growable FIFO deque backed by a power-of-two circular buffer.
+// The engine's in-flight-op window and prefetch queue pop from the front and
+// push at the back every reference; a plain slice (pop = s[1:], push =
+// append) reallocates each time the shrinking capacity runs out, which is
+// the dominant steady-state allocation of the timing model. The ring grows
+// to the high-water mark once and then recycles its storage forever.
+type ring[T any] struct {
+	buf  []T
+	head int // index of the front element
+	n    int // number of live elements
+}
+
+func (r *ring[T]) grow() {
+	newCap := 2 * len(r.buf)
+	if newCap == 0 {
+		newCap = 16
+	}
+	nb := make([]T, newCap)
+	for i := 0; i < r.n; i++ {
+		nb[i] = r.buf[(r.head+i)&(len(r.buf)-1)]
+	}
+	r.buf = nb
+	r.head = 0
+}
+
+// push appends v at the back.
+func (r *ring[T]) push(v T) {
+	if r.n == len(r.buf) {
+		r.grow()
+	}
+	r.buf[(r.head+r.n)&(len(r.buf)-1)] = v
+	r.n++
+}
+
+// pop removes and returns the front element. Callers check len() first.
+func (r *ring[T]) pop() T {
+	v := r.buf[r.head]
+	r.head = (r.head + 1) & (len(r.buf) - 1)
+	r.n--
+	return v
+}
+
+// at returns a pointer to the i-th element from the front.
+func (r *ring[T]) at(i int) *T {
+	return &r.buf[(r.head+i)&(len(r.buf)-1)]
+}
+
+// len reports the number of live elements.
+func (r *ring[T]) len() int { return r.n }

@@ -222,8 +222,9 @@ func (pr *Predictor) tick() uint64 {
 	return pr.clock
 }
 
-// OnAccess implements sim.Prefetcher.
-func (pr *Predictor) OnAccess(ref trace.Ref, hit bool, evicted *cache.EvictInfo) []sim.Prediction {
+// OnAccess implements sim.Prefetcher: predictions are appended to the
+// driver-owned preds buffer (never retained).
+func (pr *Predictor) OnAccess(ref trace.Ref, hit bool, evicted *cache.EvictInfo, preds []sim.Prediction) []sim.Prediction {
 	set := pr.geo.Index(ref.Addr)
 	curTag := pr.geo.Tag(ref.Addr)
 	curBlock := pr.geo.BlockAddr(ref.Addr)
@@ -239,7 +240,6 @@ func (pr *Predictor) OnAccess(ref trace.Ref, hit bool, evicted *cache.EvictInfo)
 		pr.upsert(evictSig, curBlock)
 	}
 
-	var preds []sim.Prediction
 	if e := pr.lookup(cur); e != nil {
 		pr.stats.TableHits++
 		e.lru = pr.tick()

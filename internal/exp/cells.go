@@ -140,14 +140,7 @@ func (o Options) instrs(s *runner.Scheduler, p workload.Preset) (uint64, error) 
 		Key: "instrs|" + o.cellKey(p),
 		Run: func() (any, error) {
 			var st trace.Stats
-			src := p.Source(o.Scale, o.seed())
-			for {
-				r, ok := src.Next()
-				if !ok {
-					break
-				}
-				st.Observe(r)
-			}
+			trace.ForEach(p.Source(o.Scale, o.seed()), st.Observe)
 			return st.Instrs, nil
 		},
 	})
@@ -209,18 +202,13 @@ func (o Options) missRateCell(p workload.Preset, l1cfg, l2cfg cache.Config) runn
 		if err != nil {
 			return missRates{}, err
 		}
-		src := p.Source(o.Scale, o.seed())
 		var now uint64
-		for {
-			ref, ok := src.Next()
-			if !ok {
-				break
-			}
+		trace.ForEach(p.Source(o.Scale, o.seed()), func(ref trace.Ref) {
 			now += uint64(ref.Gap) + 1
 			if !l1.Access(ref.Addr, ref.Kind == trace.Store, now).Hit {
 				l2.Access(ref.Addr, false, now)
 			}
-		}
+		})
 		return missRates{L1: l1.Stats().MissRate(), L2: l2.Stats().MissRate()}, nil
 	}}
 }
@@ -266,12 +254,9 @@ func (o Options) decileCell(p workload.Preset, params core.Params) runner.Task[d
 		shadow := cache.MustNew(sim.PaperL1D())
 		geo := main.Geometry()
 		var n, now uint64
-		src := p.Source(o.Scale, o.seed())
-		for {
-			ref, ok := src.Next()
-			if !ok {
-				break
-			}
+		preds := make([]sim.Prediction, 0, 16)
+		var evSlot, fillSlot cache.EvictInfo
+		trace.ForEach(p.Source(o.Scale, o.seed()), func(ref trace.Ref) {
 			now += uint64(ref.Gap) + 1
 			b := n / bucket
 			if b > 9 {
@@ -289,9 +274,11 @@ func (o Options) decileCell(p workload.Preset, params core.Params) runner.Task[d
 			}
 			var ev *cache.EvictInfo
 			if mres.Evicted.Valid {
-				ev = &mres.Evicted
+				evSlot = mres.Evicted
+				ev = &evSlot
 			}
-			for _, pd := range lt.OnAccess(ref, mres.Hit, ev) {
+			preds = lt.OnAccess(ref, mres.Hit, ev, preds[:0])
+			for _, pd := range preds {
 				pb := geo.BlockAddr(pd.Addr)
 				if pb == geo.BlockAddr(ref.Addr) || pd.ToL2 {
 					continue
@@ -299,12 +286,13 @@ func (o Options) decileCell(p workload.Preset, params core.Params) runner.Task[d
 				if eo, ins := main.InsertPrefetch(pb, pd.Victim, pd.UseVictim, now); ins {
 					var ep *cache.EvictInfo
 					if eo.Valid {
-						ep = &eo
+						fillSlot = eo
+						ep = &fillSlot
 					}
 					lt.OnPrefetchFill(pb, ep)
 				}
 			}
-		}
+		})
 		return d, nil
 	}}
 }

@@ -135,9 +135,10 @@ func (pr *Predictor) at(ptr uint64) *ghbEntry {
 }
 
 // OnAccess implements sim.Prefetcher: GHB trains on misses only.
-func (pr *Predictor) OnAccess(ref trace.Ref, hit bool, evicted *cache.EvictInfo) []sim.Prediction {
+// Predictions are appended to the driver-owned preds buffer.
+func (pr *Predictor) OnAccess(ref trace.Ref, hit bool, evicted *cache.EvictInfo, preds []sim.Prediction) []sim.Prediction {
 	if hit {
-		return nil
+		return preds
 	}
 	pr.stats.Misses++
 	block := pr.geo.BlockAddr(ref.Addr)
@@ -152,11 +153,12 @@ func (pr *Predictor) OnAccess(ref trace.Ref, hit bool, evicted *cache.EvictInfo)
 	ite.pc = ref.PC
 	ite.ptr = pr.head
 
-	return pr.predict(block)
+	return pr.predict(block, preds)
 }
 
-// predict walks the current PC's miss chain and applies delta correlation.
-func (pr *Predictor) predict(cur mem.Addr) []sim.Prediction {
+// predict walks the current PC's miss chain and applies delta correlation,
+// appending replayed prefetch addresses to preds.
+func (pr *Predictor) predict(cur mem.Addr, preds []sim.Prediction) []sim.Prediction {
 	pr.stats.Walks++
 	// Gather the PC's most recent miss addresses, newest first.
 	addrs := pr.addrs[:0]
@@ -168,7 +170,7 @@ func (pr *Predictor) predict(cur mem.Addr) []sim.Prediction {
 	}
 	pr.addrs = addrs
 	if len(addrs) < 4 {
-		return nil // need at least two deltas of history plus a pair to match
+		return preds // need at least two deltas of history plus a pair to match
 	}
 	// deltas[i] = addrs[i] - addrs[i+1]; deltas[0] is the newest delta.
 	deltas := pr.deltas[:0]
@@ -186,7 +188,7 @@ func (pr *Predictor) predict(cur mem.Addr) []sim.Prediction {
 		}
 	}
 	if match < 0 {
-		return nil
+		return preds
 	}
 	pr.stats.PairMatches++
 	// Replay the deltas that followed the match (they sit at smaller
@@ -194,10 +196,9 @@ func (pr *Predictor) predict(cur mem.Addr) []sim.Prediction {
 	// window is shorter than the prefetch depth — e.g. a constant stride
 	// matches two positions back — cycle through it, which extrapolates
 	// the recurring pattern.
-	var preds []sim.Prediction
 	next := cur
 	k := match - 1
-	for len(preds) < pr.p.Depth {
+	for issued := 0; issued < pr.p.Depth; issued++ {
 		next = mem.Addr(int64(next) + deltas[k])
 		// GHB fetches into the L2: without last-touch knowledge, placing
 		// speculative blocks in the small L1D would pollute it.

@@ -27,11 +27,11 @@ func TestNewValidation(t *testing.T) {
 
 func TestTrainsOnMissesOnly(t *testing.T) {
 	pr := MustNew(sim.PaperL1D(), DefaultParams())
-	pr.OnAccess(trace.Ref{PC: 0x10, Addr: 0x1000}, true, nil)
+	pr.OnAccess(trace.Ref{PC: 0x10, Addr: 0x1000}, true, nil, nil)
 	if pr.Stats().Misses != 0 {
 		t.Error("hits must not train the GHB")
 	}
-	pr.OnAccess(trace.Ref{PC: 0x10, Addr: 0x1000}, false, nil)
+	pr.OnAccess(trace.Ref{PC: 0x10, Addr: 0x1000}, false, nil, nil)
 	if pr.Stats().Misses != 1 {
 		t.Error("miss not observed")
 	}
@@ -44,7 +44,7 @@ func TestConstantStridePrediction(t *testing.T) {
 	var preds []sim.Prediction
 	for i := 0; i < 10; i++ {
 		addr := mem.Addr(0x10000 + i*64)
-		preds = pr.OnAccess(trace.Ref{PC: 0x44, Addr: addr}, false, nil)
+		preds = pr.OnAccess(trace.Ref{PC: 0x44, Addr: addr}, false, nil, nil)
 	}
 	if len(preds) != 4 {
 		t.Fatalf("depth-4 prediction returned %d prefetches", len(preds))
@@ -70,7 +70,7 @@ func TestDeltaPatternPrediction(t *testing.T) {
 	var preds []sim.Prediction
 	for _, d := range deltas {
 		addr += mem.Addr(d)
-		preds = pr.OnAccess(trace.Ref{PC: 0x88, Addr: addr}, false, nil)
+		preds = pr.OnAccess(trace.Ref{PC: 0x88, Addr: addr}, false, nil, nil)
 	}
 	if len(preds) < 2 {
 		t.Fatal("recurring delta pair produced too few predictions")
@@ -91,8 +91,8 @@ func TestPCLocalization(t *testing.T) {
 	pr := MustNew(sim.PaperL1D(), DefaultParams())
 	var predsA, predsB []sim.Prediction
 	for i := 0; i < 12; i++ {
-		predsA = pr.OnAccess(trace.Ref{PC: 0x100, Addr: mem.Addr(0x10000 + i*64)}, false, nil)
-		predsB = pr.OnAccess(trace.Ref{PC: 0x200, Addr: mem.Addr(0x90000 + i*128)}, false, nil)
+		predsA = pr.OnAccess(trace.Ref{PC: 0x100, Addr: mem.Addr(0x10000 + i*64)}, false, nil, nil)
+		predsB = pr.OnAccess(trace.Ref{PC: 0x200, Addr: mem.Addr(0x90000 + i*128)}, false, nil, nil)
 	}
 	if len(predsA) == 0 || len(predsB) == 0 {
 		t.Fatal("interleaved strides not detected")
@@ -150,7 +150,7 @@ func TestCircularBufferWrap(t *testing.T) {
 	pr := MustNew(sim.PaperL1D(), p)
 	for i := 0; i < 100; i++ {
 		pc := mem.Addr(0x100 + (i%3)*0x40)
-		pr.OnAccess(trace.Ref{PC: pc, Addr: mem.Addr(i * 6400)}, false, nil)
+		pr.OnAccess(trace.Ref{PC: pc, Addr: mem.Addr(i * 6400)}, false, nil, nil)
 	}
 	// Pointers older than 16 pushes must be dead.
 	if pr.live(pr.head - 16) {

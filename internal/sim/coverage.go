@@ -141,94 +141,108 @@ func RunCoverage(src trace.Source, pf Prefetcher, cfg CoverageConfig) (Coverage,
 
 	cov := Coverage{Predictor: pf.Name()}
 	var now uint64
+
+	// Fixed batch buffers reused across the whole run: the ref batch pumped
+	// from the source, the prediction scratch the prefetcher appends into,
+	// and the eviction-info slots whose addresses are passed to the
+	// predictor hooks (hooks must not retain them). Steady-state simulation
+	// allocates nothing per reference.
+	refBuf := make([]trace.Ref, trace.DefaultBatch)
+	predBuf := make([]Prediction, 0, 16)
+	var evSlot, fillSlot cache.EvictInfo
 	for {
-		ref, ok := src.Next()
-		if !ok {
+		nrefs := src.ReadRefs(refBuf)
+		if nrefs == 0 {
 			break
 		}
-		now += uint64(ref.Gap) + 1
-		cov.Refs++
-		write := ref.Kind == trace.Store
-		block := geo.BlockAddr(ref.Addr)
-		set := geo.Index(ref.Addr)
-		ctx := ref.Ctx & 3
+		for _, ref := range refBuf[:nrefs] {
+			now += uint64(ref.Gap) + 1
+			cov.Refs++
+			write := ref.Kind == trace.Store
+			block := geo.BlockAddr(ref.Addr)
+			set := geo.Index(ref.Addr)
+			ctx := ref.Ctx & 3
 
-		sres := shadow.Access(ref.Addr, write, now)
-		if cfg.DeadTimes != nil && sres.Evicted.Valid {
-			cfg.DeadTimes.Add(sres.Evicted.DeadTime)
-		}
-		if cfg.WithL2 && !sres.Hit {
-			shadowL2.Access(ref.Addr, write, now)
-		}
+			sres := shadow.Access(ref.Addr, write, now)
+			if cfg.DeadTimes != nil && sres.Evicted.Valid {
+				cfg.DeadTimes.Add(sres.Evicted.DeadTime)
+			}
+			if cfg.WithL2 && !sres.Hit {
+				shadowL2.Access(ref.Addr, write, now)
+			}
 
-		mres := main.Access(ref.Addr, write, now)
-		if cfg.WithL2 && !mres.Hit {
-			mainL2.Access(ref.Addr, write, now)
-		}
+			mres := main.Access(ref.Addr, write, now)
+			if cfg.WithL2 && !mres.Hit {
+				mainL2.Access(ref.Addr, write, now)
+			}
 
-		// Classification against the base system.
-		if !sres.Hit {
-			cov.Opportunity++
-			cov.PerCtx[ctx].Opportunity++
-			switch {
-			case mres.Hit:
-				cov.Correct++
-				cov.PerCtx[ctx].Correct++
-			default:
-				if want, okp := pending[set]; okp && want != block {
-					cov.Incorrect++
-					cov.PerCtx[ctx].Incorrect++
-				} else {
-					cov.Train++
-					cov.PerCtx[ctx].Train++
-				}
-			}
-		} else if !mres.Hit {
-			// The base system hits but the predictor-equipped system
-			// misses: a premature eviction induced by the predictor.
-			cov.Early++
-			cov.PerCtx[ctx].Early++
-			if early != nil {
-				early.OnEarlyEviction(block)
-			}
-		}
-		if !mres.Hit {
-			delete(pending, set)
-		}
-
-		var evicted *cache.EvictInfo
-		if mres.Evicted.Valid {
-			evicted = &mres.Evicted
-		}
-		for _, p := range pf.OnAccess(ref, mres.Hit, evicted) {
-			pblock := geo.BlockAddr(p.Addr)
-			if pblock == block {
-				continue // fetching the block being accessed is pointless
-			}
-			if p.ToL2 {
-				// L2-targeted prefetch: fills the L2 only (no L1 effect in
-				// trace mode; the timing model charges the latency win).
-				if cfg.WithL2 {
-					cov.Prefetches++
-					mainL2.InsertPrefetch(pblock, 0, false, now)
-				}
-				continue
-			}
-			if ev, inserted := main.InsertPrefetch(pblock, p.Victim, p.UseVictim, now); inserted {
-				cov.Prefetches++
-				pending[geo.Index(pblock)] = pblock
-				if filler != nil {
-					var ep *cache.EvictInfo
-					if ev.Valid {
-						ep = &ev
+			// Classification against the base system.
+			if !sres.Hit {
+				cov.Opportunity++
+				cov.PerCtx[ctx].Opportunity++
+				switch {
+				case mres.Hit:
+					cov.Correct++
+					cov.PerCtx[ctx].Correct++
+				default:
+					if want, okp := pending[set]; okp && want != block {
+						cov.Incorrect++
+						cov.PerCtx[ctx].Incorrect++
+					} else {
+						cov.Train++
+						cov.PerCtx[ctx].Train++
 					}
-					filler.OnPrefetchFill(pblock, ep)
 				}
-				if cfg.WithL2 {
-					// The prefetch is serviced through the L2; the fill is
-					// a prefetch insert so demand-miss accounting stays
-					// clean.
-					mainL2.InsertPrefetch(pblock, 0, false, now)
+			} else if !mres.Hit {
+				// The base system hits but the predictor-equipped system
+				// misses: a premature eviction induced by the predictor.
+				cov.Early++
+				cov.PerCtx[ctx].Early++
+				if early != nil {
+					early.OnEarlyEviction(block)
+				}
+			}
+			if !mres.Hit {
+				delete(pending, set)
+			}
+
+			var evicted *cache.EvictInfo
+			if mres.Evicted.Valid {
+				evSlot = mres.Evicted
+				evicted = &evSlot
+			}
+			predBuf = pf.OnAccess(ref, mres.Hit, evicted, predBuf[:0])
+			for _, p := range predBuf {
+				pblock := geo.BlockAddr(p.Addr)
+				if pblock == block {
+					continue // fetching the block being accessed is pointless
+				}
+				if p.ToL2 {
+					// L2-targeted prefetch: fills the L2 only (no L1 effect in
+					// trace mode; the timing model charges the latency win).
+					if cfg.WithL2 {
+						cov.Prefetches++
+						mainL2.InsertPrefetch(pblock, 0, false, now)
+					}
+					continue
+				}
+				if ev, inserted := main.InsertPrefetch(pblock, p.Victim, p.UseVictim, now); inserted {
+					cov.Prefetches++
+					pending[geo.Index(pblock)] = pblock
+					if filler != nil {
+						var ep *cache.EvictInfo
+						if ev.Valid {
+							fillSlot = ev
+							ep = &fillSlot
+						}
+						filler.OnPrefetchFill(pblock, ep)
+					}
+					if cfg.WithL2 {
+						// The prefetch is serviced through the L2; the fill is
+						// a prefetch insert so demand-miss accounting stays
+						// clean.
+						mainL2.InsertPrefetch(pblock, 0, false, now)
+					}
 				}
 			}
 		}

@@ -40,8 +40,12 @@ type Prediction struct {
 type Prefetcher interface {
 	// Name identifies the predictor in reports.
 	Name() string
-	// OnAccess observes one committed reference and returns any prefetches.
-	OnAccess(ref trace.Ref, hit bool, evicted *cache.EvictInfo) []Prediction
+	// OnAccess observes one committed reference and appends any prefetches
+	// to preds, returning the extended slice (append-style, like
+	// strconv.AppendInt). The driver owns preds and reuses it across calls:
+	// implementations must not retain it, or the evicted pointer, beyond
+	// the call. Issuing no prefetch returns preds unchanged.
+	OnAccess(ref trace.Ref, hit bool, evicted *cache.EvictInfo, preds []Prediction) []Prediction
 }
 
 // EarlyEvictionObserver is implemented by predictors that lower confidence
@@ -68,7 +72,9 @@ type Null struct{}
 func (Null) Name() string { return "none" }
 
 // OnAccess implements Prefetcher.
-func (Null) OnAccess(trace.Ref, bool, *cache.EvictInfo) []Prediction { return nil }
+func (Null) OnAccess(_ trace.Ref, _ bool, _ *cache.EvictInfo, preds []Prediction) []Prediction {
+	return preds
+}
 
 // PaperL1D returns the paper's L1 data cache configuration (Table 1):
 // 64KB, 64-byte lines, 2-way, 2-cycle.

@@ -42,8 +42,8 @@ type nextBlock struct{ geo mem.Geometry }
 
 func (nextBlock) Name() string { return "next-block-oracle" }
 
-func (n nextBlock) OnAccess(ref trace.Ref, hit bool, evicted *cache.EvictInfo) []Prediction {
-	return []Prediction{{Addr: n.geo.BlockAddr(ref.Addr) + 64}}
+func (n nextBlock) OnAccess(ref trace.Ref, hit bool, evicted *cache.EvictInfo, preds []Prediction) []Prediction {
+	return append(preds, Prediction{Addr: n.geo.BlockAddr(ref.Addr) + 64})
 }
 
 func TestOracleCoversSequentialStream(t *testing.T) {
@@ -72,9 +72,9 @@ type wrongBlock struct{ geo mem.Geometry }
 
 func (wrongBlock) Name() string { return "wrong-block" }
 
-func (w wrongBlock) OnAccess(ref trace.Ref, hit bool, evicted *cache.EvictInfo) []Prediction {
+func (w wrongBlock) OnAccess(ref trace.Ref, hit bool, evicted *cache.EvictInfo, preds []Prediction) []Prediction {
 	blk := w.geo.BlockAddr(ref.Addr)
-	return []Prediction{{Addr: blk ^ 0x40000000, Victim: blk, UseVictim: true}}
+	return append(preds, Prediction{Addr: blk ^ 0x40000000, Victim: blk, UseVictim: true})
 }
 
 func TestWrongPredictorEarly(t *testing.T) {

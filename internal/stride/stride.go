@@ -86,17 +86,18 @@ func (pr *Predictor) Name() string { return "stride" }
 func (pr *Predictor) Stats() Stats { return pr.stats }
 
 // OnAccess implements sim.Prefetcher: classic reference-prediction-table
-// training on every access.
-func (pr *Predictor) OnAccess(ref trace.Ref, hit bool, evicted *cache.EvictInfo) []sim.Prediction {
+// training on every access. Predictions are appended to the driver-owned
+// preds buffer.
+func (pr *Predictor) OnAccess(ref trace.Ref, hit bool, evicted *cache.EvictInfo, preds []sim.Prediction) []sim.Prediction {
 	e := &pr.tab[uint64(ref.PC>>2)&uint64(pr.p.Entries-1)]
 	if e.pc != ref.PC {
 		*e = entry{pc: ref.PC, last: ref.Addr}
-		return nil
+		return preds
 	}
 	s := int64(ref.Addr) - int64(e.last)
 	e.last = ref.Addr
 	if s == 0 {
-		return nil
+		return preds
 	}
 	if s == e.stride {
 		if e.conf < 3 {
@@ -105,13 +106,12 @@ func (pr *Predictor) OnAccess(ref trace.Ref, hit bool, evicted *cache.EvictInfo)
 	} else {
 		e.stride = s
 		e.conf = 0
-		return nil
+		return preds
 	}
 	if e.conf < pr.p.ConfThresh {
-		return nil
+		return preds
 	}
 	pr.stats.Hits++
-	var preds []sim.Prediction
 	next := int64(ref.Addr)
 	lastBlock := pr.geo.BlockAddr(ref.Addr)
 	for i := 0; i < pr.p.Degree; i++ {

@@ -25,7 +25,7 @@ func TestDetectsConstantStride(t *testing.T) {
 	pr := MustNew(sim.PaperL1D(), DefaultParams())
 	var preds []sim.Prediction
 	for i := 0; i < 6; i++ {
-		preds = pr.OnAccess(trace.Ref{PC: 0x40, Addr: mem.Addr(0x1000 + i*256)}, false, nil)
+		preds = pr.OnAccess(trace.Ref{PC: 0x40, Addr: mem.Addr(0x1000 + i*256)}, false, nil, nil)
 	}
 	if len(preds) != 2 {
 		t.Fatalf("degree-2: got %d predictions", len(preds))
@@ -39,7 +39,7 @@ func TestSmallStrideWithinBlockSkipped(t *testing.T) {
 	pr := MustNew(sim.PaperL1D(), DefaultParams())
 	var preds []sim.Prediction
 	for i := 0; i < 6; i++ {
-		preds = pr.OnAccess(trace.Ref{PC: 0x40, Addr: mem.Addr(0x1000 + i*4)}, false, nil)
+		preds = pr.OnAccess(trace.Ref{PC: 0x40, Addr: mem.Addr(0x1000 + i*4)}, false, nil, nil)
 	}
 	// Stride 4 far from the block edge: the next two strides stay inside
 	// the current 64B block, so no useful prefetch should be issued.
@@ -51,14 +51,14 @@ func TestSmallStrideWithinBlockSkipped(t *testing.T) {
 func TestStrideChangeResetsConfidence(t *testing.T) {
 	pr := MustNew(sim.PaperL1D(), DefaultParams())
 	for i := 0; i < 5; i++ {
-		pr.OnAccess(trace.Ref{PC: 0x40, Addr: mem.Addr(0x1000 + i*128)}, false, nil)
+		pr.OnAccess(trace.Ref{PC: 0x40, Addr: mem.Addr(0x1000 + i*128)}, false, nil, nil)
 	}
 	// Break the pattern.
-	if preds := pr.OnAccess(trace.Ref{PC: 0x40, Addr: 0x90000}, false, nil); len(preds) != 0 {
+	if preds := pr.OnAccess(trace.Ref{PC: 0x40, Addr: 0x90000}, false, nil, nil); len(preds) != 0 {
 		t.Error("stride break must not predict")
 	}
 	// One confirmation is not enough to re-reach the threshold.
-	if preds := pr.OnAccess(trace.Ref{PC: 0x40, Addr: 0x90000 + 128}, false, nil); len(preds) != 0 {
+	if preds := pr.OnAccess(trace.Ref{PC: 0x40, Addr: 0x90000 + 128}, false, nil, nil); len(preds) != 0 {
 		t.Error("confidence must rebuild after a break")
 	}
 }
@@ -66,7 +66,7 @@ func TestStrideChangeResetsConfidence(t *testing.T) {
 func TestZeroStrideIgnored(t *testing.T) {
 	pr := MustNew(sim.PaperL1D(), DefaultParams())
 	for i := 0; i < 6; i++ {
-		if preds := pr.OnAccess(trace.Ref{PC: 0x40, Addr: 0x5000}, false, nil); len(preds) != 0 {
+		if preds := pr.OnAccess(trace.Ref{PC: 0x40, Addr: 0x5000}, false, nil, nil); len(preds) != 0 {
 			t.Fatal("repeated same-address accesses must not prefetch")
 		}
 	}

@@ -60,6 +60,16 @@ func unzigzag(u uint64) int64 {
 	return int64(u>>1) ^ -int64(u&1)
 }
 
+// WriteRefs appends a batch of references to the stream.
+func (w *Writer) WriteRefs(refs []Ref) error {
+	for i := range refs {
+		if err := w.Write(refs[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // Write appends one reference to the stream.
 func (w *Writer) Write(r Ref) error {
 	flags := byte(0)
@@ -116,39 +126,61 @@ func NewReader(r io.Reader) (*Reader, error) {
 	return &Reader{r: br}, nil
 }
 
+// ReadRefs implements Source: it decodes up to len(buf) records directly
+// into the caller's buffer. After exhaustion or an error, Err distinguishes
+// clean EOF from a malformed stream.
+func (r *Reader) ReadRefs(buf []Ref) int {
+	for i := range buf {
+		if !r.readOne(&buf[i]) {
+			return i
+		}
+	}
+	return len(buf)
+}
+
 // Next implements Source. After exhaustion or an error, Err distinguishes
 // clean EOF from a malformed stream.
 func (r *Reader) Next() (Ref, bool) {
-	if r.err != nil {
+	var out Ref
+	if !r.readOne(&out) {
 		return Ref{}, false
+	}
+	return out, true
+}
+
+// readOne decodes one record into out, returning false at end of stream or
+// on a decoding error (recorded in r.err).
+func (r *Reader) readOne(out *Ref) bool {
+	if r.err != nil {
+		return false
 	}
 	flags, err := r.r.ReadByte()
 	if err == io.EOF {
 		r.err = io.EOF
-		return Ref{}, false
+		return false
 	}
 	if err != nil {
 		r.err = err
-		return Ref{}, false
+		return false
 	}
 	gap, err := r.r.ReadByte()
 	if err != nil {
 		r.err = fmt.Errorf("%w: truncated record", ErrBadTrace)
-		return Ref{}, false
+		return false
 	}
 	dpc, err := binary.ReadUvarint(r.r)
 	if err != nil {
 		r.err = fmt.Errorf("%w: truncated pc delta", ErrBadTrace)
-		return Ref{}, false
+		return false
 	}
 	daddr, err := binary.ReadUvarint(r.r)
 	if err != nil {
 		r.err = fmt.Errorf("%w: truncated addr delta", ErrBadTrace)
-		return Ref{}, false
+		return false
 	}
 	r.prevPC = mem.Addr(int64(r.prevPC) + unzigzag(dpc))
 	r.prevAddr = mem.Addr(int64(r.prevAddr) + unzigzag(daddr))
-	out := Ref{
+	*out = Ref{
 		PC:   r.prevPC,
 		Addr: r.prevAddr,
 		Gap:  gap,
@@ -160,7 +192,7 @@ func (r *Reader) Next() (Ref, bool) {
 	if flags&2 != 0 {
 		out.Dep = true
 	}
-	return out, true
+	return true
 }
 
 // Err returns nil after a clean end of stream, or the decoding error that

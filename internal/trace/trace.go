@@ -9,6 +9,14 @@
 // on the value loaded by the previous memory reference, as in pointer
 // chasing), which together determine how much memory-level parallelism the
 // out-of-order core can extract.
+//
+// References flow in batches: ReadRefs is the primary Source contract
+// (io.Reader-style, producing into a caller-owned buffer), and every
+// generator and combinator in this repository produces directly into the
+// consumer's buffer so that steady-state streaming performs no per-reference
+// heap allocation. Next remains available on every Source as a
+// one-reference-at-a-time compatibility adapter. See DESIGN.md §"Reference
+// pipeline" for the buffer-ownership rules.
 package trace
 
 import "repro/internal/mem"
@@ -53,10 +61,25 @@ type Ref struct {
 	Ctx uint8
 }
 
-// Source produces a stream of references. Next returns the next reference
-// and true, or a zero Ref and false when the stream is exhausted. Sources
-// are single-use unless documented otherwise.
+// DefaultBatch is the batch-buffer size the drivers and adapters use when
+// pumping a Source. Large enough to amortize the per-batch virtual call to
+// nothing, small enough to stay cache-resident (512 refs × 24 B ≈ 12 KB).
+const DefaultBatch = 512
+
+// Source produces a stream of references.
+//
+// ReadRefs is the primary contract: it fills buf with up to len(buf)
+// references and returns how many it produced. A return of 0 (for a
+// non-empty buf) means the stream is exhausted; short reads may occur at
+// any time, so consumers must loop until 0. The buffer belongs to the
+// caller: a Source must not retain buf (or sub-slices of it) after
+// ReadRefs returns, and the caller is free to reuse it for the next call.
+//
+// Next is the legacy one-reference adapter, equivalent to a ReadRefs of a
+// one-element buffer. Sources are single-use unless documented otherwise,
+// and the two read styles may be mixed freely on one stream.
 type Source interface {
+	ReadRefs(buf []Ref) int
 	Next() (Ref, bool)
 }
 
@@ -69,6 +92,13 @@ type SliceSource struct {
 // NewSliceSource returns a Source that yields refs in order.
 func NewSliceSource(refs []Ref) *SliceSource {
 	return &SliceSource{refs: refs}
+}
+
+// ReadRefs implements Source.
+func (s *SliceSource) ReadRefs(buf []Ref) int {
+	n := copy(buf, s.refs[s.pos:])
+	s.pos += n
+	return n
 }
 
 // Next implements Source.
@@ -84,65 +114,153 @@ func (s *SliceSource) Next() (Ref, bool) {
 // Reset rewinds the source to the beginning so it can be replayed.
 func (s *SliceSource) Reset() { s.pos = 0 }
 
-// FuncSource adapts a function to the Source interface.
+// FillFunc adapts a batch fill function to the Source interface. The
+// function must follow the ReadRefs contract (return 0 only at exhaustion).
+// This is the adapter all batch-native generators and combinators use.
+type FillFunc func(buf []Ref) int
+
+// ReadRefs implements Source.
+func (f FillFunc) ReadRefs(buf []Ref) int { return f(buf) }
+
+// Next implements Source via a one-element read.
+func (f FillFunc) Next() (Ref, bool) {
+	var one [1]Ref
+	if f(one[:]) == 0 {
+		return Ref{}, false
+	}
+	return one[0], true
+}
+
+// FuncSource adapts a one-reference-at-a-time function to the Source
+// interface (the legacy adapter; prefer FillFunc for new sources).
 type FuncSource func() (Ref, bool)
 
 // Next implements Source.
 func (f FuncSource) Next() (Ref, bool) { return f() }
 
+// ReadRefs implements Source by looping the function into buf.
+func (f FuncSource) ReadRefs(buf []Ref) int {
+	for i := range buf {
+		r, ok := f()
+		if !ok {
+			return i
+		}
+		buf[i] = r
+	}
+	return len(buf)
+}
+
+// Puller adapts a batch Source for one-reference-at-a-time consumption with
+// amortized batch reads: interleaving combinators that must make a per-ref
+// decision (InterleaveQuanta, workload.Mix) pull through one of these so the
+// underlying source still produces full batches.
+type Puller struct {
+	src    Source
+	buf    []Ref
+	pos, n int
+}
+
+// NewPuller wraps src; batch <= 0 selects DefaultBatch.
+func NewPuller(src Source, batch int) *Puller {
+	if batch <= 0 {
+		batch = DefaultBatch
+	}
+	return &Puller{src: src, buf: make([]Ref, batch)}
+}
+
+// Next returns the next reference, refilling the internal batch as needed.
+func (p *Puller) Next() (Ref, bool) {
+	if p.pos >= p.n {
+		p.n = p.src.ReadRefs(p.buf)
+		p.pos = 0
+		if p.n == 0 {
+			return Ref{}, false
+		}
+	}
+	r := p.buf[p.pos]
+	p.pos++
+	return r, true
+}
+
 // Limit wraps src and stops after n references.
 func Limit(src Source, n uint64) Source {
-	count := uint64(0)
-	return FuncSource(func() (Ref, bool) {
-		if count >= n {
-			return Ref{}, false
+	remaining := n
+	return FillFunc(func(buf []Ref) int {
+		if remaining == 0 {
+			return 0
 		}
-		r, ok := src.Next()
-		if !ok {
-			return Ref{}, false
+		if uint64(len(buf)) > remaining {
+			buf = buf[:remaining]
 		}
-		count++
-		return r, true
+		got := src.ReadRefs(buf)
+		remaining -= uint64(got)
+		return got
 	})
 }
 
 // Concat yields all references of each source in turn.
 func Concat(srcs ...Source) Source {
 	i := 0
-	return FuncSource(func() (Ref, bool) {
+	return FillFunc(func(buf []Ref) int {
 		for i < len(srcs) {
-			if r, ok := srcs[i].Next(); ok {
-				return r, true
+			if n := srcs[i].ReadRefs(buf); n > 0 {
+				return n
 			}
 			i++
 		}
-		return Ref{}, false
+		return 0
 	})
 }
 
 // Collect drains src into a slice, up to max references (0 means no limit).
 func Collect(src Source, max int) []Ref {
 	var out []Ref
+	var buf [DefaultBatch]Ref
 	for {
-		if max > 0 && len(out) >= max {
+		b := buf[:]
+		if max > 0 {
+			if len(out) >= max {
+				return out
+			}
+			if left := max - len(out); left < len(b) {
+				b = b[:left]
+			}
+		}
+		n := src.ReadRefs(b)
+		if n == 0 {
 			return out
 		}
-		r, ok := src.Next()
-		if !ok {
-			return out
-		}
-		out = append(out, r)
+		out = append(out, b[:n]...)
 	}
 }
 
 // Count drains src and returns the number of references it produced.
 func Count(src Source) uint64 {
+	var buf [DefaultBatch]Ref
 	var n uint64
 	for {
-		if _, ok := src.Next(); !ok {
+		got := src.ReadRefs(buf[:])
+		if got == 0 {
 			return n
 		}
-		n++
+		n += uint64(got)
+	}
+}
+
+// ForEach drains src, invoking fn for every reference in stream order. It
+// pumps through an internal DefaultBatch-sized buffer, amortizing the
+// per-batch virtual call; consumers that only need a per-reference visit
+// should use this instead of hand-rolling the ReadRefs loop.
+func ForEach(src Source, fn func(Ref)) {
+	var buf [DefaultBatch]Ref
+	for {
+		n := src.ReadRefs(buf[:])
+		if n == 0 {
+			return
+		}
+		for i := range buf[:n] {
+			fn(buf[i])
+		}
 	}
 }
 
@@ -150,16 +268,16 @@ func Count(src Source) uint64 {
 // refs with the given context id. The multi-programmed experiments use it to
 // give each program a disjoint physical range, as the paper does
 // ("the addresses accessed by one application in each pair were shifted to
-// simulate non-overlapping physical address ranges").
+// simulate non-overlapping physical address ranges"). The rewrite happens in
+// place in the consumer's batch buffer: no copy, no allocation.
 func Offset(src Source, delta mem.Addr, ctx uint8) Source {
-	return FuncSource(func() (Ref, bool) {
-		r, ok := src.Next()
-		if !ok {
-			return Ref{}, false
+	return FillFunc(func(buf []Ref) int {
+		n := src.ReadRefs(buf)
+		for i := range buf[:n] {
+			buf[i].Addr += delta
+			buf[i].Ctx = ctx
 		}
-		r.Addr += delta
-		r.Ctx = ctx
-		return r, true
+		return n
 	})
 }
 
@@ -171,52 +289,63 @@ func Offset(src Source, delta mem.Addr, ctx uint8) Source {
 // stream ends when both are exhausted, or after maxSwitches context
 // switches (0 means unlimited).
 func InterleaveQuanta(a, b Source, quantumA, quantumB uint64, maxSwitches int) Source {
-	srcs := [2]Source{a, b}
+	pullers := [2]*Puller{NewPuller(a, 0), NewPuller(b, 0)}
 	quanta := [2]uint64{quantumA, quantumB}
 	var exhausted [2]bool
 	active := 0
 	var instrs uint64
 	switches := 0
 	stopped := false
-	return FuncSource(func() (Ref, bool) {
-		for {
-			if stopped || (exhausted[0] && exhausted[1]) {
-				return Ref{}, false
-			}
-			if exhausted[active] {
-				active = 1 - active
-				instrs = 0
-				continue
-			}
-			if instrs >= quanta[active] && !exhausted[1-active] {
-				if maxSwitches > 0 && switches+1 >= maxSwitches {
-					stopped = true
-					return Ref{}, false
+	return FillFunc(func(buf []Ref) int {
+		for i := range buf {
+		fill:
+			for {
+				if stopped || (exhausted[0] && exhausted[1]) {
+					return i
 				}
-				switches++
-				active = 1 - active
-				instrs = 0
+				if exhausted[active] {
+					active = 1 - active
+					instrs = 0
+					continue
+				}
+				if instrs >= quanta[active] && !exhausted[1-active] {
+					if maxSwitches > 0 && switches+1 >= maxSwitches {
+						stopped = true
+						return i
+					}
+					switches++
+					active = 1 - active
+					instrs = 0
+				}
+				r, ok := pullers[active].Next()
+				if !ok {
+					exhausted[active] = true
+					continue
+				}
+				instrs += uint64(r.Gap) + 1
+				buf[i] = r
+				break fill
 			}
-			r, ok := srcs[active].Next()
-			if !ok {
-				exhausted[active] = true
-				continue
-			}
-			instrs += uint64(r.Gap) + 1
-			return r, true
 		}
+		return len(buf)
 	})
 }
 
 // Tee invokes fn for every reference flowing through the returned source.
-// It is useful for collecting side statistics without a second pass.
+// It is useful for collecting side statistics without a second pass. With
+// batch reads, fn is invoked when a batch is produced, which may be before
+// the consumer actually processes the corresponding references — and if a
+// downstream consumer reads ahead and then stops early (e.g. a Puller
+// inside InterleaveQuanta whose stream hits maxSwitches), fn will have
+// fired for buffered references that are never emitted. Side statistics
+// are therefore exact only for streams drained to exhaustion.
 func Tee(src Source, fn func(Ref)) Source {
-	return FuncSource(func() (Ref, bool) {
-		r, ok := src.Next()
-		if ok {
-			fn(r)
+	return FillFunc(func(buf []Ref) int {
+		n := src.ReadRefs(buf)
+		for i := range buf[:n] {
+			fn(buf[i])
 		}
-		return r, ok
+		return n
 	})
 }
 

@@ -74,42 +74,41 @@ func PointerChase(c ChaseConfig) trace.Source {
 	cur := int32(0)
 	step, field := 0, 0
 	iter := 0
-	return trace.FuncSource(func() (trace.Ref, bool) {
-		if iter >= c.Iters {
-			return exhausted, false
+	advance := func() {
+		cur = next[cur]
+		step++
+		if step == c.Nodes {
+			step = 0
+			iter++
+			relocate(slot, swaps, rng)
 		}
-		if field > 0 {
-			// Field references within the current node's block(s).
-			off := mem.Addr(8 * field)
-			if off >= mem.Addr(c.NodeSize) {
-				off = mem.Addr(c.NodeSize - 8)
+	}
+	return trace.FillFunc(func(buf []trace.Ref) int {
+		for i := range buf {
+			if iter >= c.Iters {
+				return i
 			}
-			r := m.make(c.PCBase+8+mem.Addr(field*4), nodeAddr(cur)+off, false)
-			field--
-			if field == 0 {
-				cur = next[cur]
-				step++
-				if step == c.Nodes {
-					step = 0
-					iter++
-					relocate(slot, swaps, rng)
+			if field > 0 {
+				// Field references within the current node's block(s).
+				off := mem.Addr(8 * field)
+				if off >= mem.Addr(c.NodeSize) {
+					off = mem.Addr(c.NodeSize - 8)
 				}
+				buf[i] = m.make(c.PCBase+8+mem.Addr(field*4), nodeAddr(cur)+off, false)
+				field--
+				if field == 0 {
+					advance()
+				}
+				continue
 			}
-			return r, true
-		}
-		r := m.make(c.PCBase, nodeAddr(cur), true) // the chase load
-		if c.FieldRefs > 0 {
-			field = c.FieldRefs
-		} else {
-			cur = next[cur]
-			step++
-			if step == c.Nodes {
-				step = 0
-				iter++
-				relocate(slot, swaps, rng)
+			buf[i] = m.make(c.PCBase, nodeAddr(cur), true) // the chase load
+			if c.FieldRefs > 0 {
+				field = c.FieldRefs
+			} else {
+				advance()
 			}
 		}
-		return r, true
+		return len(buf)
 	})
 }
 
@@ -243,23 +242,25 @@ func TreeWalk(c TreeConfig) trace.Source {
 	stack := make([]int32, 0, c.Depth+1)
 	stack = append(stack, 0)
 	iter := 0
-	return trace.FuncSource(func() (trace.Ref, bool) {
-		if iter >= c.Iters {
-			return exhausted, false
+	return trace.FillFunc(func(buf []trace.Ref) int {
+		for i := range buf {
+			if iter >= c.Iters {
+				return i
+			}
+			id := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			buf[i] = m.make(c.PCBase, addrOf(id), true)
+			if right := 2*id + 2; right < nodes {
+				stack = append(stack, right)
+			}
+			if left := 2*id + 1; left < nodes {
+				stack = append(stack, left)
+			}
+			if len(stack) == 0 {
+				stack = append(stack, 0)
+				iter++
+			}
 		}
-		id := stack[len(stack)-1]
-		stack = stack[:len(stack)-1]
-		r := m.make(c.PCBase, addrOf(id), true)
-		if right := 2*id + 2; right < nodes {
-			stack = append(stack, right)
-		}
-		if left := 2*id + 1; left < nodes {
-			stack = append(stack, left)
-		}
-		if len(stack) == 0 {
-			stack = append(stack, 0)
-			iter++
-		}
-		return r, true
+		return len(buf)
 	})
 }

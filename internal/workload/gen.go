@@ -50,9 +50,6 @@ func (m *refMaker) make(pc, addr mem.Addr, dep bool) trace.Ref {
 	return r
 }
 
-// exhausted is a reusable terminal state.
-var exhausted = trace.Ref{}
-
 // boundsCheck panics early on nonsensical generator parameters so that
 // misconfigured presets fail loudly at construction instead of producing
 // empty or degenerate streams.

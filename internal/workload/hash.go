@@ -38,19 +38,22 @@ func HashAccess(c HashConfig) trace.Source {
 	rng := NewRNG(c.Seed)
 	m := &refMaker{gaps: c.Gap, storeEvery: c.StoreEvery, rng: rng}
 	var n uint64
-	return trace.FuncSource(func() (trace.Ref, bool) {
-		if n >= c.Refs {
-			return exhausted, false
+	return trace.FillFunc(func(buf []trace.Ref) int {
+		for i := range buf {
+			if n >= c.Refs {
+				return i
+			}
+			n++
+			var addr mem.Addr
+			if c.HotBytes > 0 && rng.Float64() < c.HotFrac {
+				addr = c.Base + mem.Addr(rng.Intn(c.HotBytes))
+			} else {
+				addr = c.Base + mem.Addr(rng.Intn(c.Footprint))
+			}
+			pc := c.PCBase + mem.Addr(rng.Intn(c.PCs)*4)
+			buf[i] = m.make(pc, addr, false)
 		}
-		n++
-		var addr mem.Addr
-		if c.HotBytes > 0 && rng.Float64() < c.HotFrac {
-			addr = c.Base + mem.Addr(rng.Intn(c.HotBytes))
-		} else {
-			addr = c.Base + mem.Addr(rng.Intn(c.Footprint))
-		}
-		pc := c.PCBase + mem.Addr(rng.Intn(c.PCs)*4)
-		return m.make(pc, addr, false), true
+		return len(buf)
 	})
 }
 
@@ -83,21 +86,23 @@ func StreamOnce(c StreamConfig) trace.Source {
 	boundsCheck("StreamOnce", c.Bytes > 0 && c.Stride > 0 && c.Passes > 0)
 	m := &refMaker{gaps: c.Gap, storeEvery: c.StoreEvery, rng: NewRNG(c.Seed)}
 	pass, off := 0, 0
-	return trace.FuncSource(func() (trace.Ref, bool) {
-		if pass >= c.Passes {
-			return exhausted, false
+	return trace.FillFunc(func(buf []trace.Ref) int {
+		for i := range buf {
+			if pass >= c.Passes {
+				return i
+			}
+			base := c.Base
+			if !c.Rewind {
+				base += mem.Addr(pass) * mem.Addr(c.Bytes)
+			}
+			addr := base + mem.Addr(off)
+			buf[i] = m.make(c.PCBase, addr, false)
+			off += c.Stride
+			if off >= c.Bytes {
+				off = 0
+				pass++
+			}
 		}
-		base := c.Base
-		if !c.Rewind {
-			base += mem.Addr(pass) * mem.Addr(c.Bytes)
-		}
-		addr := base + mem.Addr(off)
-		r := m.make(c.PCBase, addr, false)
-		off += c.Stride
-		if off >= c.Bytes {
-			off = 0
-			pass++
-		}
-		return r, true
+		return len(buf)
 	})
 }

@@ -23,7 +23,7 @@ func Mix(chunk int, comps ...Component) trace.Source {
 		chunk = 1
 	}
 	type state struct {
-		src   trace.Source
+		src   *trace.Puller
 		quota int
 		left  int
 		done  bool
@@ -34,39 +34,45 @@ func Mix(chunk int, comps ...Component) trace.Source {
 		if w < 1 {
 			w = 1
 		}
-		sts = append(sts, &state{src: c.Src, quota: w * chunk, left: w * chunk})
+		sts = append(sts, &state{src: trace.NewPuller(c.Src, 0), quota: w * chunk, left: w * chunk})
 	}
 	if len(sts) == 0 {
-		return trace.FuncSource(func() (trace.Ref, bool) { return trace.Ref{}, false })
+		return trace.FillFunc(func([]trace.Ref) int { return 0 })
 	}
 	cur := 0
 	advance := func() {
 		cur = (cur + 1) % len(sts)
 		sts[cur].left = sts[cur].quota
 	}
-	return trace.FuncSource(func() (trace.Ref, bool) {
-		deadSkips := 0
-		for deadSkips < len(sts) {
-			st := sts[cur]
-			if st.done {
-				deadSkips++
-				advance()
-				continue
+	return trace.FillFunc(func(buf []trace.Ref) int {
+		for i := range buf {
+			deadSkips := 0
+			for {
+				if deadSkips >= len(sts) {
+					return i
+				}
+				st := sts[cur]
+				if st.done {
+					deadSkips++
+					advance()
+					continue
+				}
+				if st.left <= 0 {
+					advance()
+					continue
+				}
+				r, ok := st.src.Next()
+				if !ok {
+					st.done = true
+					deadSkips++
+					advance()
+					continue
+				}
+				st.left--
+				buf[i] = r
+				break
 			}
-			if st.left <= 0 {
-				advance()
-				continue
-			}
-			r, ok := st.src.Next()
-			if !ok {
-				st.done = true
-				deadSkips++
-				advance()
-				continue
-			}
-			st.left--
-			return r, true
 		}
-		return trace.Ref{}, false
+		return len(buf)
 	})
 }

@@ -84,40 +84,42 @@ func ArraySweep(c SweepConfig) trace.Source {
 		}
 	}
 	iter, pos, arr := 0, 0, 0
-	return trace.FuncSource(func() (trace.Ref, bool) {
-		if iter >= c.Iters {
-			return exhausted, false
-		}
-		elem := pos
-		if perm != nil && gatherAt > 0 && pos%gatherAt == gatherAt-1 {
-			elem = int(perm[pos])
-		}
-		addr := c.Base + mem.Addr(arr)*arrBytes + mem.Addr(elem*c.Stride)
-		pc := c.PCBase + mem.Addr(arr*8)
-		r := m.make(pc, addr, false)
-		// Advance the loop nest.
-		if c.Interleave {
-			arr++
-			if arr == c.Arrays {
-				arr = 0
-				pos++
-				if pos == c.Elems {
-					pos = 0
-					iter++
-				}
+	return trace.FillFunc(func(buf []trace.Ref) int {
+		for i := range buf {
+			if iter >= c.Iters {
+				return i
 			}
-		} else {
-			pos++
-			if pos == c.Elems {
-				pos = 0
+			elem := pos
+			if perm != nil && gatherAt > 0 && pos%gatherAt == gatherAt-1 {
+				elem = int(perm[pos])
+			}
+			addr := c.Base + mem.Addr(arr)*arrBytes + mem.Addr(elem*c.Stride)
+			pc := c.PCBase + mem.Addr(arr*8)
+			buf[i] = m.make(pc, addr, false)
+			// Advance the loop nest.
+			if c.Interleave {
 				arr++
 				if arr == c.Arrays {
 					arr = 0
-					iter++
+					pos++
+					if pos == c.Elems {
+						pos = 0
+						iter++
+					}
+				}
+			} else {
+				pos++
+				if pos == c.Elems {
+					pos = 0
+					arr++
+					if arr == c.Arrays {
+						arr = 0
+						iter++
+					}
 				}
 			}
 		}
-		return r, true
+		return len(buf)
 	})
 }
 
@@ -169,21 +171,23 @@ func PerturbedSweep(c PerturbedSweepConfig) trace.Source {
 	}
 	swaps := int(c.PerturbFrac * float64(c.Elems) / 2)
 	iter, pos := 0, 0
-	return trace.FuncSource(func() (trace.Ref, bool) {
-		if iter >= c.Iters {
-			return exhausted, false
-		}
-		addr := c.Base + mem.Addr(order[pos])*mem.Addr(c.Stride)
-		r := m.make(c.PCBase, addr, c.Dep)
-		pos++
-		if pos == c.Elems {
-			pos = 0
-			iter++
-			for s := 0; s < swaps; s++ {
-				i, j := rng.Intn(c.Elems), rng.Intn(c.Elems)
-				order[i], order[j] = order[j], order[i]
+	return trace.FillFunc(func(buf []trace.Ref) int {
+		for i := range buf {
+			if iter >= c.Iters {
+				return i
+			}
+			addr := c.Base + mem.Addr(order[pos])*mem.Addr(c.Stride)
+			buf[i] = m.make(c.PCBase, addr, c.Dep)
+			pos++
+			if pos == c.Elems {
+				pos = 0
+				iter++
+				for s := 0; s < swaps; s++ {
+					a, b := rng.Intn(c.Elems), rng.Intn(c.Elems)
+					order[a], order[b] = order[b], order[a]
+				}
 			}
 		}
-		return r, true
+		return len(buf)
 	})
 }

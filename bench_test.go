@@ -178,6 +178,38 @@ func BenchmarkCoverage(b *testing.B) {
 	}
 }
 
+// BenchmarkCoverageSharded measures the sharded multi-context driver in
+// steady state: a 4-program consolidation stream routed to per-context
+// cache shards with partitioned LT-cords state. The sharded hot path keeps
+// the zero-alloc batch contract, so allocs/op must report 0 just like the
+// monolithic driver.
+func BenchmarkCoverageSharded(b *testing.B) {
+	mk := func() trace.Source {
+		var progs []workload.ConsolProgram
+		for _, name := range []string{"gcc", "gzip", "swim", "mcf"} {
+			p, _ := workload.ByName(name)
+			progs = append(progs, workload.ConsolProgram{Preset: p, Quantum: 20_000})
+		}
+		src, err := workload.Consolidate(progs, workload.Small, 1, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return src
+	}
+	src := trace.Limit(cyclic(mk), uint64(b.N))
+	b.ReportAllocs()
+	b.ResetTimer()
+	sc, err := sim.RunCoverageSharded(src,
+		func(int) sim.Prefetcher { return core.MustNew(sim.PaperL1D(), core.DefaultParams()) },
+		sim.ShardedConfig{Contexts: 4})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if sc.Refs != uint64(b.N) {
+		b.Fatalf("simulated %d refs, want %d", sc.Refs, b.N)
+	}
+}
+
 // BenchmarkTimingModel measures the cycle-level engine's per-reference cost
 // on the dependence-heavy mcf preset with LT-cords attached.
 func BenchmarkTimingModel(b *testing.B) {

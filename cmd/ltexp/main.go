@@ -3,6 +3,7 @@
 // Usage:
 //
 //	ltexp -exp fig8                 # one experiment, default scale (small)
+//	ltexp -exp consol               # sharded 2/4/8-context consolidation mixes
 //	ltexp -exp all -scale medium    # every experiment at medium scale
 //	ltexp -exp all -parallel 8      # fan simulation cells over 8 workers
 //	ltexp -exp all -json            # structured output for bench tracking

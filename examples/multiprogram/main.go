@@ -45,7 +45,7 @@ func run(name string, src trace.Source) sim.Coverage {
 		log.Fatal(err)
 	}
 	fmt.Printf("%-22s ctx0: %5.1f%%   ctx1: %5.1f%%\n", name,
-		cov.PerCtx[0].CoveragePct()*100, cov.PerCtx[1].CoveragePct()*100)
+		cov.Ctx(0).CoveragePct()*100, cov.Ctx(1).CoveragePct()*100)
 	return cov
 }
 

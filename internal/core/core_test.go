@@ -1,6 +1,7 @@
 package core
 
 import (
+	"reflect"
 	"testing"
 
 	"repro/internal/cache"
@@ -178,7 +179,7 @@ func TestLTCordsDeterministic(t *testing.T) {
 	}
 	c1, s1 := run()
 	c2, s2 := run()
-	if c1 != c2 || s1 != s2 {
+	if !reflect.DeepEqual(c1, c2) || s1 != s2 {
 		t.Error("LT-cords runs are not deterministic")
 	}
 }

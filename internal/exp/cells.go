@@ -2,6 +2,7 @@ package exp
 
 import (
 	"fmt"
+	"strings"
 
 	"repro/internal/cache"
 	"repro/internal/core"
@@ -214,16 +215,45 @@ func (o Options) missRateCell(p workload.Preset, l1cfg, l2cfg cache.Config) runn
 }
 
 // mixedCoverageCell runs LT-cords over two programs alternating execution
-// on shared predictor state (fig11): the partner is shifted to a disjoint
-// physical range and tagged with context 1.
+// on one core with shared caches and shared predictor state (fig11): the
+// N=2 consolidation stream (partner shifted to a disjoint physical range
+// and tagged with context 1) driven through the monolithic coverage run.
 func (o Options) mixedCoverageCell(subject, partner workload.Preset, qSubj, qPart uint64, params core.Params) runner.Task[sim.Coverage] {
 	key := fmt.Sprintf("mixcov|%s|%s+%s|q%d/%d|pf=lt{%s}", o.cellKey(subject), subject.Name, partner.Name, qSubj, qPart, fp(params))
 	return runner.Task[sim.Coverage]{Key: key, Run: func() (sim.Coverage, error) {
-		subjSrc := trace.Offset(subject.Source(o.Scale, o.seed()), 0, 0)
-		partSrc := trace.Offset(partner.Source(o.Scale, o.seed()+7), 1<<32, 1)
-		mixed := trace.InterleaveQuanta(subjSrc, partSrc, qSubj, qPart, 0)
+		mixed, err := workload.Consolidate([]workload.ConsolProgram{
+			{Preset: subject, Quantum: qSubj},
+			{Preset: partner, Quantum: qPart},
+		}, o.Scale, o.seed(), 0)
+		if err != nil {
+			return sim.Coverage{}, err
+		}
 		lt := core.MustNew(sim.PaperL1D(), params)
 		return sim.RunCoverage(mixed, lt, sim.CoverageConfig{})
+	}}
+}
+
+// consolCoverageCell runs one server-consolidation mix through the sharded
+// coverage engine: every program gets a private cache hierarchy (its
+// shard), with predictor state either shared across contexts or
+// partitioned per context.
+func (o Options) consolCoverageCell(progs []workload.ConsolProgram, shared bool, params core.Params) runner.Task[sim.ShardedCoverage] {
+	names := make([]string, len(progs))
+	quanta := make([]uint64, len(progs))
+	for i, p := range progs {
+		names[i] = p.Preset.Name
+		quanta[i] = p.Quantum
+	}
+	key := fmt.Sprintf("consolcov|scale%d|seed%d|mix=%s|q=%v|shared=%t|pf=lt{%s}",
+		o.Scale, o.seed(), strings.Join(names, "+"), quanta, shared, fp(params))
+	return runner.Task[sim.ShardedCoverage]{Key: key, Run: func() (sim.ShardedCoverage, error) {
+		src, err := workload.Consolidate(progs, o.Scale, o.seed(), 0)
+		if err != nil {
+			return sim.ShardedCoverage{}, err
+		}
+		return sim.RunCoverageSharded(src,
+			func(int) sim.Prefetcher { return core.MustNew(sim.PaperL1D(), params) },
+			sim.ShardedConfig{Contexts: len(progs), SharedPredictor: shared})
 	}}
 }
 

@@ -27,7 +27,7 @@ func quick(t *testing.T, id string, benches ...string) *Report {
 }
 
 func TestIDsComplete(t *testing.T) {
-	want := []string{"ablations", "convergence", "fig10", "fig11", "fig12", "fig2", "fig4",
+	want := []string{"ablations", "consol", "convergence", "fig10", "fig11", "fig12", "fig2", "fig4",
 		"fig6left", "fig6right", "fig7", "fig8", "fig9", "power", "table2", "table3"}
 	got := IDs()
 	if len(got) != len(want) {
@@ -120,6 +120,29 @@ func TestFig11Quick(t *testing.T) {
 	// 5 subjects, each standalone + partners (3+3+3+3+2=14) = 19 rows.
 	if rep.Table().Rows() != 19 {
 		t.Errorf("fig11 rows = %d want 19", rep.Table().Rows())
+	}
+}
+
+func TestConsolQuick(t *testing.T) {
+	// consol uses its own mix list; exercise it at Small scale.
+	rep, err := Run("consol", Options{Scale: workload.Small})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One row per program per mix plus a merged row per mix:
+	// (2+1) + (4+1) + (8+1) = 17.
+	if rep.Table().Rows() != 17 {
+		t.Errorf("consol rows = %d want 17", rep.Table().Rows())
+	}
+	// Partitioned shards isolate every program: in the octa mix (rows
+	// 8-15, row 16 is the merge), no program's partitioned coverage may
+	// collapse to zero while its standalone coverage is nonzero — the
+	// shared column is the one free to collapse.
+	for r := 8; r < 16; r++ {
+		if rep.Table().Cell(r, 3) == "0.0%" && rep.Table().Cell(r, 2) != "0.0%" {
+			t.Errorf("octa row %d: partitioned coverage collapsed to zero (standalone %s)",
+				r, rep.Table().Cell(r, 2))
+		}
 	}
 }
 

@@ -38,6 +38,19 @@ func fig11Quanta(s workload.Scale) (uint64, uint64) {
 	return 120_000, 240_000
 }
 
+// suiteQuantum returns the per-program quantum chooser the multi-programmed
+// experiments (fig11, consol) share: integer programs get the shorter
+// quantum, floating point (and Olden) the longer.
+func suiteQuantum(s workload.Scale) func(workload.Preset) uint64 {
+	intQ, fpQ := fig11Quanta(s)
+	return func(p workload.Preset) uint64 {
+		if p.Suite == "SPECint" {
+			return intQ
+		}
+		return fpQ
+	}
+}
+
 // runFig11 reproduces Figure 11: LT-cords coverage when two programs
 // alternate execution on shared predictor state (both the on-chip
 // structures and the off-chip sequence storage), with non-overlapping
@@ -46,13 +59,7 @@ func fig11Quanta(s workload.Scale) (uint64, uint64) {
 // combined sequences exceed the off-chip storage (lucas with applu/mgrid).
 // The standalone cells are shared with fig8.
 func runFig11(o Options) (*Report, error) {
-	intQ, fpQ := fig11Quanta(o.Scale)
-	quantum := func(p workload.Preset) uint64 {
-		if p.Suite == "SPECint" {
-			return intQ
-		}
-		return fpQ
-	}
+	quantum := suiteQuantum(o.Scale)
 	type pairing struct {
 		subject, partner workload.Preset
 	}
@@ -89,7 +96,7 @@ func runFig11(o Options) (*Report, error) {
 			textplot.Pct(cov.CoveragePct()), textplot.Pct(cov.IncorrectPct()),
 			textplot.Pct(cov.TrainPct()), textplot.Pct(cov.EarlyPct()))
 		for ; mi < len(pairs) && pairs[mi].subject.Name == name; mi++ {
-			c := mixRes[mi].PerCtx[0] // the subject's context
+			c := mixRes[mi].Ctx(0) // the subject's context
 			tab.AddRow(name, "w/ "+pairs[mi].partner.Name,
 				textplot.Pct(c.CoveragePct()), textplot.Pct(c.IncorrectPct()),
 				textplot.Pct(c.TrainPct()), textplot.Pct(c.EarlyPct()))

@@ -1,0 +1,35 @@
+package exp
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"testing"
+)
+
+// Golden report fingerprints: sha256 of the rendered report at Small
+// scale, seed 1, full experiment-default benchmark lists. fig11's hash is
+// pinned to the pre-sharding output (the N-way interleaver refactor must
+// not move a byte); consol's pins the sharded engine's results. Both must
+// reproduce at any parallelism (deterministic cells + ordered reduction).
+const (
+	fig11GoldenSHA256  = "0571508391af23cbb790e1d14ae1f5c7232330879937e7037dc22e9e8e88db4d"
+	consolGoldenSHA256 = "ee8bb819c03bdc86459a1be9f6bd19846b456100c50ce8213caf7ac1c8b84e67"
+)
+
+func checkGolden(t *testing.T, id, want string) {
+	t.Helper()
+	if testing.Short() {
+		t.Skipf("%s golden fingerprint is not short", id)
+	}
+	for _, par := range []int{1, 8} {
+		rendered := renderAt(t, id, nil, par)
+		sum := sha256.Sum256([]byte(rendered))
+		if got := hex.EncodeToString(sum[:]); got != want {
+			t.Errorf("%s (parallelism %d): report fingerprint %s, pinned %s\nreport:\n%s",
+				id, par, got, want, rendered)
+		}
+	}
+}
+
+func TestFig11Golden(t *testing.T)  { checkGolden(t, "fig11", fig11GoldenSHA256) }
+func TestConsolGolden(t *testing.T) { checkGolden(t, "consol", consolGoldenSHA256) }

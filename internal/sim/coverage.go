@@ -23,6 +23,16 @@ type CoverageConfig struct {
 	DeadTimes *stats.Log2Histogram
 }
 
+// applyDefaults resolves zero-valued cache configurations to the paper's.
+func (cfg *CoverageConfig) applyDefaults() {
+	if cfg.L1.Size == 0 {
+		cfg.L1 = PaperL1D()
+	}
+	if cfg.WithL2 && cfg.L2.Size == 0 {
+		cfg.L2 = PaperL2()
+	}
+}
+
 // CtxCoverage is the per-context (per-program) classification used by the
 // multi-programmed experiments.
 type CtxCoverage struct {
@@ -33,6 +43,15 @@ type CtxCoverage struct {
 	Early       uint64 // extra misses induced by the predictor
 }
 
+// add folds another classification into c (shard merging).
+func (c *CtxCoverage) add(o CtxCoverage) {
+	c.Opportunity += o.Opportunity
+	c.Correct += o.Correct
+	c.Incorrect += o.Incorrect
+	c.Train += o.Train
+	c.Early += o.Early
+}
+
 // Coverage is the result of a coverage run.
 type Coverage struct {
 	Predictor string
@@ -41,9 +60,10 @@ type Coverage struct {
 
 	// L1-level classification, summed over contexts.
 	CtxCoverage
-	// PerCtx splits the classification by trace.Ref.Ctx (multi-programmed
-	// runs use contexts 0 and 1).
-	PerCtx [4]CtxCoverage
+	// PerCtx splits the classification by trace.Ref.Ctx, indexed by context
+	// id and sized to the highest context observed (single-program runs
+	// have one entry; consolidation mixes one per program).
+	PerCtx []CtxCoverage
 
 	// MainL1Misses is the with-predictor L1 miss count.
 	MainL1Misses uint64
@@ -53,6 +73,14 @@ type Coverage struct {
 	// valid when the run was configured WithL2.
 	BaseL2Misses uint64
 	MainL2Misses uint64
+}
+
+// Ctx returns the classification of context i (zero if i was never seen).
+func (c Coverage) Ctx(i int) CtxCoverage {
+	if i < 0 || i >= len(c.PerCtx) {
+		return CtxCoverage{}
+	}
+	return c.PerCtx[i]
 }
 
 // CoveragePct returns eliminated misses as a fraction of opportunity.
@@ -100,158 +128,194 @@ func (c Coverage) L2CoveragePct() float64 {
 	return elim / float64(c.BaseL2Misses)
 }
 
-// RunCoverage drives src through an L1D with the predictor attached and a
-// shadow L1D without it, classifying every base-system miss.
-func RunCoverage(src trace.Source, pf Prefetcher, cfg CoverageConfig) (Coverage, error) {
-	if cfg.L1.Size == 0 {
-		cfg.L1 = PaperL1D()
-	}
-	main, err := cache.New(cfg.L1)
-	if err != nil {
-		return Coverage{}, fmt.Errorf("sim: main L1: %w", err)
+// covShard is the private state of one coverage context: its own main and
+// shadow hierarchies, pending-prediction map, instruction clock and
+// classification counters. RunCoverage is a single shard consuming the
+// whole stream; RunCoverageSharded routes each reference to its context's
+// shard, so the two drivers classify by the exact same rules.
+type covShard struct {
+	cfg              *CoverageConfig
+	geo              mem.Geometry
+	main, shadow     *cache.Cache
+	mainL2, shadowL2 *cache.Cache
+	pf               Prefetcher
+	early            EarlyEvictionObserver
+	filler           PrefetchFillObserver
+	// pending[set] records the most recent predicted replacement block for
+	// the set, to distinguish incorrect from train on a miss.
+	pending map[int]mem.Addr
+	// predBuf is the prediction scratch the prefetcher appends into;
+	// evSlot/fillSlot are the eviction-info slots whose addresses are
+	// passed to the predictor hooks (hooks must not retain them). All are
+	// reused every reference: steady-state simulation allocates nothing.
+	predBuf          []Prediction
+	evSlot, fillSlot cache.EvictInfo
+	now              uint64
+	cov              Coverage
+}
+
+// newCovShard builds one shard's caches and scratch. cfg must already have
+// defaults applied; it is shared between shards and must not be mutated.
+func newCovShard(cfg *CoverageConfig, pf Prefetcher) (*covShard, error) {
+	s := &covShard{cfg: cfg, pf: pf}
+	var err error
+	if s.main, err = cache.New(cfg.L1); err != nil {
+		return nil, fmt.Errorf("sim: main L1: %w", err)
 	}
 	shadowCfg := cfg.L1
 	shadowCfg.Name = cfg.L1.Name + "-shadow"
-	shadow, err := cache.New(shadowCfg)
-	if err != nil {
-		return Coverage{}, fmt.Errorf("sim: shadow L1: %w", err)
+	if s.shadow, err = cache.New(shadowCfg); err != nil {
+		return nil, fmt.Errorf("sim: shadow L1: %w", err)
 	}
-	var mainL2, shadowL2 *cache.Cache
 	if cfg.WithL2 {
-		if cfg.L2.Size == 0 {
-			cfg.L2 = PaperL2()
-		}
-		if mainL2, err = cache.New(cfg.L2); err != nil {
-			return Coverage{}, fmt.Errorf("sim: main L2: %w", err)
+		if s.mainL2, err = cache.New(cfg.L2); err != nil {
+			return nil, fmt.Errorf("sim: main L2: %w", err)
 		}
 		sl2 := cfg.L2
 		sl2.Name += "-shadow"
-		if shadowL2, err = cache.New(sl2); err != nil {
-			return Coverage{}, fmt.Errorf("sim: shadow L2: %w", err)
+		if s.shadowL2, err = cache.New(sl2); err != nil {
+			return nil, fmt.Errorf("sim: shadow L2: %w", err)
 		}
 	}
+	s.geo = s.main.Geometry()
+	s.early, _ = pf.(EarlyEvictionObserver)
+	s.filler, _ = pf.(PrefetchFillObserver)
+	s.pending = make(map[int]mem.Addr, 1024)
+	s.predBuf = make([]Prediction, 0, 16)
+	s.cov = Coverage{Predictor: pf.Name()}
+	return s, nil
+}
 
-	geo := main.Geometry()
-	early, _ := pf.(EarlyEvictionObserver)
-	filler, _ := pf.(PrefetchFillObserver)
+// step advances the shard by one committed reference, classifying it
+// against the shard's base (shadow) system.
+func (s *covShard) step(ref trace.Ref) {
+	s.now += uint64(ref.Gap) + 1
+	s.cov.Refs++
+	write := ref.Kind == trace.Store
+	block := s.geo.BlockAddr(ref.Addr)
+	set := s.geo.Index(ref.Addr)
+	ctx := int(ref.Ctx)
+	if ctx >= len(s.cov.PerCtx) {
+		// Grow to the highest context observed (at most 256 entries, a
+		// handful of growths per run — the per-reference cost is one
+		// length compare).
+		s.cov.PerCtx = append(s.cov.PerCtx, make([]CtxCoverage, ctx+1-len(s.cov.PerCtx))...)
+	}
 
-	// pending[set] records the most recent predicted replacement block for
-	// the set, to distinguish incorrect from train on a miss.
-	pending := make(map[int]mem.Addr, 1024)
+	sres := s.shadow.Access(ref.Addr, write, s.now)
+	if s.cfg.DeadTimes != nil && sres.Evicted.Valid {
+		s.cfg.DeadTimes.Add(sres.Evicted.DeadTime)
+	}
+	if s.cfg.WithL2 && !sres.Hit {
+		s.shadowL2.Access(ref.Addr, write, s.now)
+	}
 
-	cov := Coverage{Predictor: pf.Name()}
-	var now uint64
+	mres := s.main.Access(ref.Addr, write, s.now)
+	if s.cfg.WithL2 && !mres.Hit {
+		s.mainL2.Access(ref.Addr, write, s.now)
+	}
 
-	// Fixed batch buffers reused across the whole run: the ref batch pumped
-	// from the source, the prediction scratch the prefetcher appends into,
-	// and the eviction-info slots whose addresses are passed to the
-	// predictor hooks (hooks must not retain them). Steady-state simulation
-	// allocates nothing per reference.
+	// Classification against the base system.
+	if !sres.Hit {
+		s.cov.Opportunity++
+		s.cov.PerCtx[ctx].Opportunity++
+		switch {
+		case mres.Hit:
+			s.cov.Correct++
+			s.cov.PerCtx[ctx].Correct++
+		default:
+			if want, okp := s.pending[set]; okp && want != block {
+				s.cov.Incorrect++
+				s.cov.PerCtx[ctx].Incorrect++
+			} else {
+				s.cov.Train++
+				s.cov.PerCtx[ctx].Train++
+			}
+		}
+	} else if !mres.Hit {
+		// The base system hits but the predictor-equipped system
+		// misses: a premature eviction induced by the predictor.
+		s.cov.Early++
+		s.cov.PerCtx[ctx].Early++
+		if s.early != nil {
+			s.early.OnEarlyEviction(block)
+		}
+	}
+	if !mres.Hit {
+		delete(s.pending, set)
+	}
+
+	var evicted *cache.EvictInfo
+	if mres.Evicted.Valid {
+		s.evSlot = mres.Evicted
+		evicted = &s.evSlot
+	}
+	s.predBuf = s.pf.OnAccess(ref, mres.Hit, evicted, s.predBuf[:0])
+	for _, p := range s.predBuf {
+		pblock := s.geo.BlockAddr(p.Addr)
+		if pblock == block {
+			continue // fetching the block being accessed is pointless
+		}
+		if p.ToL2 {
+			// L2-targeted prefetch: fills the L2 only (no L1 effect in
+			// trace mode; the timing model charges the latency win).
+			if s.cfg.WithL2 {
+				s.cov.Prefetches++
+				s.mainL2.InsertPrefetch(pblock, 0, false, s.now)
+			}
+			continue
+		}
+		if ev, inserted := s.main.InsertPrefetch(pblock, p.Victim, p.UseVictim, s.now); inserted {
+			s.cov.Prefetches++
+			s.pending[s.geo.Index(pblock)] = pblock
+			if s.filler != nil {
+				var ep *cache.EvictInfo
+				if ev.Valid {
+					s.fillSlot = ev
+					ep = &s.fillSlot
+				}
+				s.filler.OnPrefetchFill(pblock, ep)
+			}
+			if s.cfg.WithL2 {
+				// The prefetch is serviced through the L2; the fill is
+				// a prefetch insert so demand-miss accounting stays
+				// clean.
+				s.mainL2.InsertPrefetch(pblock, 0, false, s.now)
+			}
+		}
+	}
+}
+
+// finish seals the shard's result: derived totals and the PerCtx slice
+// trimmed to the contexts actually observed.
+func (s *covShard) finish() Coverage {
+	s.cov.Instrs = s.now
+	s.cov.MainL1Misses = s.main.Stats().Misses
+	if s.cfg.WithL2 {
+		s.cov.BaseL2Misses = s.shadowL2.Stats().Misses
+		s.cov.MainL2Misses = s.mainL2.Stats().Misses
+	}
+	return s.cov
+}
+
+// RunCoverage drives src through an L1D with the predictor attached and a
+// shadow L1D without it, classifying every base-system miss.
+func RunCoverage(src trace.Source, pf Prefetcher, cfg CoverageConfig) (Coverage, error) {
+	cfg.applyDefaults()
+	sh, err := newCovShard(&cfg, pf)
+	if err != nil {
+		return Coverage{}, err
+	}
+	// Fixed batch buffer reused across the whole run (see DESIGN.md §7).
 	refBuf := make([]trace.Ref, trace.DefaultBatch)
-	predBuf := make([]Prediction, 0, 16)
-	var evSlot, fillSlot cache.EvictInfo
 	for {
 		nrefs := src.ReadRefs(refBuf)
 		if nrefs == 0 {
 			break
 		}
 		for _, ref := range refBuf[:nrefs] {
-			now += uint64(ref.Gap) + 1
-			cov.Refs++
-			write := ref.Kind == trace.Store
-			block := geo.BlockAddr(ref.Addr)
-			set := geo.Index(ref.Addr)
-			ctx := ref.Ctx & 3
-
-			sres := shadow.Access(ref.Addr, write, now)
-			if cfg.DeadTimes != nil && sres.Evicted.Valid {
-				cfg.DeadTimes.Add(sres.Evicted.DeadTime)
-			}
-			if cfg.WithL2 && !sres.Hit {
-				shadowL2.Access(ref.Addr, write, now)
-			}
-
-			mres := main.Access(ref.Addr, write, now)
-			if cfg.WithL2 && !mres.Hit {
-				mainL2.Access(ref.Addr, write, now)
-			}
-
-			// Classification against the base system.
-			if !sres.Hit {
-				cov.Opportunity++
-				cov.PerCtx[ctx].Opportunity++
-				switch {
-				case mres.Hit:
-					cov.Correct++
-					cov.PerCtx[ctx].Correct++
-				default:
-					if want, okp := pending[set]; okp && want != block {
-						cov.Incorrect++
-						cov.PerCtx[ctx].Incorrect++
-					} else {
-						cov.Train++
-						cov.PerCtx[ctx].Train++
-					}
-				}
-			} else if !mres.Hit {
-				// The base system hits but the predictor-equipped system
-				// misses: a premature eviction induced by the predictor.
-				cov.Early++
-				cov.PerCtx[ctx].Early++
-				if early != nil {
-					early.OnEarlyEviction(block)
-				}
-			}
-			if !mres.Hit {
-				delete(pending, set)
-			}
-
-			var evicted *cache.EvictInfo
-			if mres.Evicted.Valid {
-				evSlot = mres.Evicted
-				evicted = &evSlot
-			}
-			predBuf = pf.OnAccess(ref, mres.Hit, evicted, predBuf[:0])
-			for _, p := range predBuf {
-				pblock := geo.BlockAddr(p.Addr)
-				if pblock == block {
-					continue // fetching the block being accessed is pointless
-				}
-				if p.ToL2 {
-					// L2-targeted prefetch: fills the L2 only (no L1 effect in
-					// trace mode; the timing model charges the latency win).
-					if cfg.WithL2 {
-						cov.Prefetches++
-						mainL2.InsertPrefetch(pblock, 0, false, now)
-					}
-					continue
-				}
-				if ev, inserted := main.InsertPrefetch(pblock, p.Victim, p.UseVictim, now); inserted {
-					cov.Prefetches++
-					pending[geo.Index(pblock)] = pblock
-					if filler != nil {
-						var ep *cache.EvictInfo
-						if ev.Valid {
-							fillSlot = ev
-							ep = &fillSlot
-						}
-						filler.OnPrefetchFill(pblock, ep)
-					}
-					if cfg.WithL2 {
-						// The prefetch is serviced through the L2; the fill is
-						// a prefetch insert so demand-miss accounting stays
-						// clean.
-						mainL2.InsertPrefetch(pblock, 0, false, now)
-					}
-				}
-			}
+			sh.step(ref)
 		}
 	}
-	cov.Instrs = now
-	cov.MainL1Misses = main.Stats().Misses
-	if cfg.WithL2 {
-		cov.BaseL2Misses = shadowL2.Stats().Misses
-		cov.MainL2Misses = mainL2.Stats().Misses
-	}
-	return cov, nil
+	return sh.finish(), nil
 }

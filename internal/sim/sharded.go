@@ -1,0 +1,105 @@
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/trace"
+)
+
+// MaxShards is the largest shard count RunCoverageSharded accepts — the
+// size of the trace.Ref.Ctx tag space.
+const MaxShards = trace.MaxContexts
+
+// ShardedConfig parameterizes a sharded multi-context coverage run.
+type ShardedConfig struct {
+	// CoverageConfig applies to every shard: each context gets its own
+	// main/shadow L1 pair (and L2 pair when WithL2) of this geometry.
+	CoverageConfig
+	// Contexts is the shard count. References must carry Ctx tags in
+	// [0, Contexts); an out-of-range tag fails the run (no silent
+	// aliasing of contexts).
+	Contexts int
+	// SharedPredictor, when true, routes every context's references
+	// through a single predictor instance in stream order — consolidated
+	// cores sharing predictor state, the premise of the paper's Figure 11.
+	// When false each shard owns a private predictor (partitioned state),
+	// which makes every shard exactly equivalent to a standalone
+	// RunCoverage over that context's references.
+	SharedPredictor bool
+}
+
+// ShardedCoverage is the result of a sharded run: the merged whole-machine
+// view plus each context's full standalone result.
+type ShardedCoverage struct {
+	// Coverage is the merge across shards (see DESIGN.md §8 for the merge
+	// rules): counters are summed, and PerCtx[i] is shard i's
+	// classification.
+	Coverage
+	// Shards holds each context's complete coverage result, indexed by
+	// trace.Ref.Ctx.
+	Shards []Coverage
+}
+
+// RunCoverageSharded drives one interleaved multi-context stream through
+// per-context shards: each reference is routed by its Ctx tag to that
+// context's private cache hierarchy, clock and classification state, in
+// stream order. newPF builds the predictor state: once (ctx 0) when
+// cfg.SharedPredictor is set, else once per shard. The hot path keeps the
+// zero-alloc batch contract: shards and scratch are built up front and one
+// fixed batch buffer pumps the source.
+func RunCoverageSharded(src trace.Source, newPF func(ctx int) Prefetcher, cfg ShardedConfig) (ShardedCoverage, error) {
+	if cfg.Contexts < 1 || cfg.Contexts > MaxShards {
+		return ShardedCoverage{}, fmt.Errorf("sim: %d contexts outside the supported 1..%d (trace.Ref.Ctx is uint8)",
+			cfg.Contexts, MaxShards)
+	}
+	cfg.applyDefaults()
+	shards := make([]*covShard, cfg.Contexts)
+	var shared Prefetcher
+	if cfg.SharedPredictor {
+		shared = newPF(0)
+	}
+	for i := range shards {
+		pf := shared
+		if pf == nil {
+			pf = newPF(i)
+		}
+		sh, err := newCovShard(&cfg.CoverageConfig, pf)
+		if err != nil {
+			return ShardedCoverage{}, err
+		}
+		shards[i] = sh
+	}
+
+	refBuf := make([]trace.Ref, trace.DefaultBatch)
+	for {
+		nrefs := src.ReadRefs(refBuf)
+		if nrefs == 0 {
+			break
+		}
+		for _, ref := range refBuf[:nrefs] {
+			if int(ref.Ctx) >= cfg.Contexts {
+				return ShardedCoverage{}, fmt.Errorf("sim: reference context %d outside the configured %d shards",
+					ref.Ctx, cfg.Contexts)
+			}
+			shards[ref.Ctx].step(ref)
+		}
+	}
+
+	out := ShardedCoverage{Shards: make([]Coverage, cfg.Contexts)}
+	m := &out.Coverage
+	m.Predictor = shards[0].cov.Predictor
+	m.PerCtx = make([]CtxCoverage, cfg.Contexts)
+	for i, sh := range shards {
+		c := sh.finish()
+		out.Shards[i] = c
+		m.Refs += c.Refs
+		m.Instrs += c.Instrs
+		m.CtxCoverage.add(c.CtxCoverage)
+		m.MainL1Misses += c.MainL1Misses
+		m.Prefetches += c.Prefetches
+		m.BaseL2Misses += c.BaseL2Misses
+		m.MainL2Misses += c.MainL2Misses
+		m.PerCtx[i] = c.CtxCoverage
+	}
+	return out, nil
+}

@@ -1,0 +1,158 @@
+package sim_test
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// consolStream builds a deterministic 4-program consolidation stream,
+// materialized so tests can replay and filter it.
+func consolStream(t *testing.T, limit uint64) []trace.Ref {
+	t.Helper()
+	var progs []workload.ConsolProgram
+	for _, name := range []string{"gcc", "gzip", "swim", "mcf"} {
+		p, ok := workload.ByName(name)
+		if !ok {
+			t.Fatalf("missing preset %s", name)
+		}
+		progs = append(progs, workload.ConsolProgram{Preset: p, Quantum: 10_000})
+	}
+	src, err := workload.Consolidate(progs, workload.Small, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return trace.Collect(trace.Limit(src, limit), 0)
+}
+
+// filterCtx returns the subsequence of refs tagged ctx.
+func filterCtx(refs []trace.Ref, ctx uint8) []trace.Ref {
+	var out []trace.Ref
+	for _, r := range refs {
+		if r.Ctx == ctx {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+func newLT(int) sim.Prefetcher { return core.MustNew(sim.PaperL1D(), core.DefaultParams()) }
+
+// TestShardedEquivalence pins the sharded engine's semantics: with
+// partitioned predictor state, running the interleaved stream through
+// RunCoverageSharded must produce, per context, results identical to
+// filtering the stream by Ctx and running the monolithic RunCoverage on
+// each slice — private caches, clocks and predictors see exactly the same
+// references either way.
+func TestShardedEquivalence(t *testing.T) {
+	refs := consolStream(t, 400_000)
+	const contexts = 4
+
+	sc, err := sim.RunCoverageSharded(trace.NewSliceSource(refs), newLT,
+		sim.ShardedConfig{Contexts: contexts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Refs != uint64(len(refs)) {
+		t.Fatalf("merged refs = %d want %d", sc.Refs, len(refs))
+	}
+
+	var sumOpp, sumCorrect, sumRefs uint64
+	for ctx := 0; ctx < contexts; ctx++ {
+		slice := filterCtx(refs, uint8(ctx))
+		mono, err := sim.RunCoverage(trace.NewSliceSource(slice), newLT(ctx), sim.CoverageConfig{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(sc.Shards[ctx], mono) {
+			t.Errorf("ctx %d: sharded result diverges from filtered monolithic run:\nsharded:    %+v\nmonolithic: %+v",
+				ctx, sc.Shards[ctx], mono)
+		}
+		if sc.PerCtx[ctx] != mono.CtxCoverage {
+			t.Errorf("ctx %d: merged PerCtx %+v != monolithic totals %+v", ctx, sc.PerCtx[ctx], mono.CtxCoverage)
+		}
+		sumOpp += mono.Opportunity
+		sumCorrect += mono.Correct
+		sumRefs += mono.Refs
+	}
+	if sc.Opportunity != sumOpp || sc.Correct != sumCorrect || sc.Refs != sumRefs {
+		t.Errorf("merge mismatch: merged opp/correct/refs = %d/%d/%d, shard sums = %d/%d/%d",
+			sc.Opportunity, sc.Correct, sc.Refs, sumOpp, sumCorrect, sumRefs)
+	}
+}
+
+// TestShardedWithL2 exercises the per-shard L2 pairs and their merge.
+func TestShardedWithL2(t *testing.T) {
+	refs := consolStream(t, 150_000)
+	sc, err := sim.RunCoverageSharded(trace.NewSliceSource(refs), newLT,
+		sim.ShardedConfig{CoverageConfig: sim.CoverageConfig{WithL2: true}, Contexts: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var base, main uint64
+	for _, sh := range sc.Shards {
+		base += sh.BaseL2Misses
+		main += sh.MainL2Misses
+	}
+	if sc.BaseL2Misses != base || sc.MainL2Misses != main {
+		t.Errorf("L2 merge: merged %d/%d, shard sums %d/%d", sc.BaseL2Misses, sc.MainL2Misses, base, main)
+	}
+	if sc.BaseL2Misses == 0 {
+		t.Error("no base L2 misses recorded with WithL2")
+	}
+}
+
+// TestSharedPredictorMode: one predictor instance observes the whole
+// interleaved stream; the run covers every context and classifies the same
+// total opportunity as partitioned mode (the base/shadow side is predictor
+// independent).
+func TestSharedPredictorMode(t *testing.T) {
+	refs := consolStream(t, 200_000)
+	part, err := sim.RunCoverageSharded(trace.NewSliceSource(refs), newLT,
+		sim.ShardedConfig{Contexts: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var calls int
+	shared, err := sim.RunCoverageSharded(trace.NewSliceSource(refs),
+		func(ctx int) sim.Prefetcher { calls++; return newLT(ctx) },
+		sim.ShardedConfig{Contexts: 4, SharedPredictor: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != 1 {
+		t.Errorf("shared mode built %d predictors, want 1", calls)
+	}
+	if shared.Refs != part.Refs || shared.Opportunity != part.Opportunity {
+		t.Errorf("shared/partitioned base systems diverge: refs %d/%d opp %d/%d",
+			shared.Refs, part.Refs, shared.Opportunity, part.Opportunity)
+	}
+	for ctx, c := range shared.PerCtx {
+		if c.Opportunity == 0 {
+			t.Errorf("shared mode: ctx %d saw no opportunity", ctx)
+		}
+	}
+}
+
+// TestShardedCtxGuards: out-of-range context tags and shard counts fail
+// loudly instead of aliasing into the wrong shard.
+func TestShardedCtxGuards(t *testing.T) {
+	refs := []trace.Ref{{Addr: 0x1000, Ctx: 0}, {Addr: 0x2000, Ctx: 3}}
+	_, err := sim.RunCoverageSharded(trace.NewSliceSource(refs), newLT, sim.ShardedConfig{Contexts: 2})
+	if err == nil || !strings.Contains(err.Error(), "context 3") {
+		t.Errorf("ctx 3 with 2 shards: err = %v, want context named", err)
+	}
+	for _, n := range []int{0, -1, sim.MaxShards + 1} {
+		if _, err := sim.RunCoverageSharded(trace.NewSliceSource(nil), newLT, sim.ShardedConfig{Contexts: n}); err == nil {
+			t.Errorf("Contexts=%d must be rejected", n)
+		}
+	}
+	if _, err := sim.RunCoverageSharded(trace.NewSliceSource(nil), newLT, sim.ShardedConfig{Contexts: 8}); err != nil {
+		t.Errorf("empty stream must succeed: %v", err)
+	}
+}

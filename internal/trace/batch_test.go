@@ -83,6 +83,11 @@ func TestBatchNextEquivalence(t *testing.T) {
 		"interleave": func() Source {
 			return InterleaveQuanta(NewSliceSource(refs[:500]), NewSliceSource(refs[500:]), 50, 30, 0)
 		},
+		"interleaveN": func() Source {
+			return InterleaveQuantaN(
+				[]Source{NewSliceSource(refs[:300]), NewSliceSource(refs[300:650]), NewSliceSource(refs[650:])},
+				[]uint64{40, 25, 60}, 0)
+		},
 	}
 	for name, mk := range sources {
 		want := drainNext(mk())
@@ -148,6 +153,41 @@ func TestCodecBatchEquivalence(t *testing.T) {
 	}
 }
 
+// TestCodecWideCtx round-trips the full uint8 context space: contexts 0-3
+// use the compact flags encoding, larger ones the extended-ctx byte, and
+// neither may truncate (a consolidation mix recorded to disk must replay
+// with every shard tag intact).
+func TestCodecWideCtx(t *testing.T) {
+	var refs []Ref
+	for i, ctx := range []uint8{0, 1, 3, 4, 5, 7, 8, 100, 127, 128, 254, 255} {
+		refs = append(refs, Ref{
+			PC: mem.Addr(0x400000 + i*4), Addr: mem.Addr(uint64(ctx)<<32 | uint64(i*64)),
+			Kind: Kind(i % 2), Gap: uint8(i), Dep: i%3 == 0, Ctx: ctx,
+		})
+	}
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteRefs(refs); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	for _, batch := range []int{1, 5, 64} {
+		r, err := NewReader(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		refsEqual(t, "codec/widectx", refs, drainBatch(r, batch))
+		if r.Err() != nil {
+			t.Fatal(r.Err())
+		}
+	}
+}
+
 // FuzzCodecRoundTrip feeds arbitrary bytes through two paths: (1) interpret
 // them as reference fields, encode, decode via both read styles, and demand
 // exact round-trip agreement; (2) interpret them as a raw trace stream and
@@ -158,7 +198,7 @@ func FuzzCodecRoundTrip(f *testing.F) {
 	f.Add(bytes.Repeat([]byte{0xff, 0x00, 0x80}, 40))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		// Path 1: bytes -> refs -> encode -> decode (Next and batch).
-		const stride = 19 // 8 pc + 8 addr + kind + gap + flags
+		const stride = 20 // 8 pc + 8 addr + kind + gap + flags + ctx
 		var refs []Ref
 		for i := 0; i+stride <= len(data); i += stride {
 			d := data[i : i+stride]
@@ -170,7 +210,7 @@ func FuzzCodecRoundTrip(f *testing.F) {
 			refs = append(refs, Ref{
 				PC: mem.Addr(pc), Addr: mem.Addr(addr),
 				Kind: Kind(d[16] & 1), Gap: d[17],
-				Dep: d[18]&1 != 0, Ctx: d[18] >> 1 & 3,
+				Dep: d[18]&1 != 0, Ctx: d[19],
 			})
 		}
 		var buf bytes.Buffer

@@ -16,18 +16,32 @@ import (
 //
 // Each record is:
 //
-//	flags byte: bit0 kind (1=store), bit1 dep, bits2-3 ctx(low 2 bits)
+//	flags byte: bit0 kind (1=store), bit1 dep, bits2-3 ctx (when <= 3),
+//	            bit4 extended ctx (a full ctx byte follows flags)
+//	ctx   byte (only when flags bit4 is set): the full uint8 context id
 //	gap   byte
 //	pc    delta from previous pc, zigzag uvarint
 //	addr  delta from previous addr, zigzag uvarint
+//
+// The extended-ctx form keeps consolidation mixes beyond 4 contexts exact
+// (no silent truncation of the Ctx tag). Streams that only use contexts
+// 0-3 — every stream the version 1 format could represent — encode their
+// records byte-identically to version 1; only the header's version byte
+// differs (the writer stamps 2, see codecVersion).
 //
 // Consecutive references have strong spatial locality in both PC and data
 // address, so zigzag deltas keep real traces small (typically 4-6 bytes per
 // reference versus 19 for the raw struct).
 
 const (
-	codecMagic   = "LTCT"
-	codecVersion = 1
+	codecMagic = "LTCT"
+	// codecVersion 2 added the extended-ctx record form (flags bit4 + a
+	// full ctx byte). Version 1 streams never set bit4 and decode under
+	// the same rules, so the reader accepts both; the writer stamps 2 so
+	// version-1-only readers reject extended streams instead of
+	// misparsing the ctx byte as the gap.
+	codecVersion    = 2
+	codecMinVersion = 1
 )
 
 // Writer streams references into an io.Writer using the binary trace format.
@@ -37,7 +51,7 @@ type Writer struct {
 	prevAddr mem.Addr
 	started  bool
 	count    uint64
-	buf      [2*binary.MaxVarintLen64 + 2]byte
+	buf      [2*binary.MaxVarintLen64 + 3]byte
 }
 
 // NewWriter creates a trace writer and emits the stream header.
@@ -79,10 +93,18 @@ func (w *Writer) Write(r Ref) error {
 	if r.Dep {
 		flags |= 2
 	}
-	flags |= (r.Ctx & 3) << 2
 	n := 0
-	w.buf[n] = flags
-	n++
+	if r.Ctx <= 3 {
+		flags |= r.Ctx << 2
+		w.buf[n] = flags
+		n++
+	} else {
+		flags |= 1 << 4
+		w.buf[n] = flags
+		n++
+		w.buf[n] = r.Ctx
+		n++
+	}
 	w.buf[n] = r.Gap
 	n++
 	n += binary.PutUvarint(w.buf[n:], zigzag(int64(r.PC)-int64(w.prevPC)))
@@ -120,8 +142,8 @@ func NewReader(r io.Reader) (*Reader, error) {
 	if string(head[:len(codecMagic)]) != codecMagic {
 		return nil, fmt.Errorf("%w: bad magic %q", ErrBadTrace, head[:len(codecMagic)])
 	}
-	if head[len(codecMagic)] != codecVersion {
-		return nil, fmt.Errorf("%w: unsupported version %d", ErrBadTrace, head[len(codecMagic)])
+	if v := head[len(codecMagic)]; v < codecMinVersion || v > codecVersion {
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrBadTrace, v)
 	}
 	return &Reader{r: br}, nil
 }
@@ -163,6 +185,13 @@ func (r *Reader) readOne(out *Ref) bool {
 		r.err = err
 		return false
 	}
+	ctx := (flags >> 2) & 3
+	if flags&(1<<4) != 0 {
+		if ctx, err = r.r.ReadByte(); err != nil {
+			r.err = fmt.Errorf("%w: truncated extended ctx", ErrBadTrace)
+			return false
+		}
+	}
 	gap, err := r.r.ReadByte()
 	if err != nil {
 		r.err = fmt.Errorf("%w: truncated record", ErrBadTrace)
@@ -184,7 +213,7 @@ func (r *Reader) readOne(out *Ref) bool {
 		PC:   r.prevPC,
 		Addr: r.prevAddr,
 		Gap:  gap,
-		Ctx:  (flags >> 2) & 3,
+		Ctx:  ctx,
 	}
 	if flags&1 != 0 {
 		out.Kind = Store

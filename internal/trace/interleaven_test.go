@@ -1,0 +1,185 @@
+package trace
+
+import (
+	"testing"
+
+	"repro/internal/mem"
+)
+
+// ctxRefs builds n refs tagged with ctx, with addresses encoding their
+// per-source position so order violations are detectable after interleaving.
+func ctxRefs(ctx uint8, n int, gap uint8) []Ref {
+	refs := make([]Ref, n)
+	for i := range refs {
+		refs[i] = Ref{
+			PC:   mem.Addr(0x1000 + uint64(ctx)<<16),
+			Addr: mem.Addr(uint64(ctx)<<32 | uint64(i)),
+			Kind: Kind(i % 2), Gap: gap, Ctx: ctx,
+		}
+	}
+	return refs
+}
+
+// TestInterleaveQuantaNMatchesPairwise pins the refactor: the two-source
+// special case of InterleaveQuantaN must produce exactly the stream the
+// pairwise InterleaveQuanta contract describes, for uneven lengths, uneven
+// quanta and a maxSwitches cutoff.
+func TestInterleaveQuantaNMatchesPairwise(t *testing.T) {
+	cases := []struct {
+		name        string
+		lenA, lenB  int
+		gapA, gapB  uint8
+		qA, qB      uint64
+		maxSwitches int
+	}{
+		{"even", 300, 300, 2, 2, 30, 30, 0},
+		{"uneven-len", 500, 120, 1, 3, 17, 53, 0},
+		{"uneven-quanta", 250, 250, 0, 0, 7, 91, 0},
+		{"max-switches", 400, 400, 2, 1, 25, 25, 9},
+		{"tiny-quanta", 100, 100, 5, 5, 1, 1, 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			a, b := ctxRefs(0, tc.lenA, tc.gapA), ctxRefs(1, tc.lenB, tc.gapB)
+			want := Collect(InterleaveQuanta(
+				NewSliceSource(a), NewSliceSource(b), tc.qA, tc.qB, tc.maxSwitches), 0)
+			got := Collect(InterleaveQuantaN(
+				[]Source{NewSliceSource(a), NewSliceSource(b)},
+				[]uint64{tc.qA, tc.qB}, tc.maxSwitches), 0)
+			refsEqual(t, tc.name, want, got)
+		})
+	}
+}
+
+// TestInterleaveQuantaNRotation checks the round-robin schedule: with gap 0
+// every reference is one instruction, so quanta translate directly into run
+// lengths 0,0,0, 1,1, 2,2,2,2, 0,0,0, ...
+func TestInterleaveQuantaNRotation(t *testing.T) {
+	srcs := []Source{
+		NewSliceSource(ctxRefs(0, 30, 0)),
+		NewSliceSource(ctxRefs(1, 30, 0)),
+		NewSliceSource(ctxRefs(2, 30, 0)),
+	}
+	got := Collect(InterleaveQuantaN(srcs, []uint64{3, 2, 4}, 0), 0)
+	if len(got) != 90 {
+		t.Fatalf("total refs = %d want 90", len(got))
+	}
+	runLens := []int{3, 2, 4}
+	pos, ctx := 0, 0
+	// 7 full 3+2+4 rounds fit before source 2 (30 refs, 4 per round)
+	// exhausts mid-quantum; check the schedule only while all are live.
+	for pos < 63 {
+		for k := 0; k < runLens[ctx]; k++ {
+			if got[pos].Ctx != uint8(ctx) {
+				t.Fatalf("ref %d: ctx = %d want %d", pos, got[pos].Ctx, ctx)
+			}
+			pos++
+		}
+		ctx = (ctx + 1) % 3
+	}
+}
+
+// TestInterleaveQuantaNExhaustion: exhausted sources drop out of the
+// rotation and the survivors (eventually one alone) carry the stream.
+func TestInterleaveQuantaNExhaustion(t *testing.T) {
+	srcs := []Source{
+		NewSliceSource(ctxRefs(0, 10, 0)),
+		NewSliceSource(ctxRefs(1, 200, 0)),
+		NewSliceSource(ctxRefs(2, 40, 0)),
+	}
+	got := Collect(InterleaveQuantaN(srcs, []uint64{4, 4, 4}, 0), 0)
+	if len(got) != 250 {
+		t.Fatalf("total refs = %d want 250", len(got))
+	}
+	var counts [3]int
+	for _, r := range got {
+		counts[r.Ctx]++
+	}
+	if counts[0] != 10 || counts[1] != 200 || counts[2] != 40 {
+		t.Errorf("per-ctx counts = %v", counts)
+	}
+	// The tail must be pure ctx 1 (the longest source finishing alone).
+	for _, r := range got[len(got)-120:] {
+		if r.Ctx != 1 {
+			t.Fatalf("tail ref has ctx %d, want 1 once others exhausted", r.Ctx)
+		}
+	}
+}
+
+// TestInterleaveQuantaNDegenerate covers the empty and single-source forms.
+func TestInterleaveQuantaNDegenerate(t *testing.T) {
+	if n := Count(InterleaveQuantaN(nil, nil, 0)); n != 0 {
+		t.Errorf("empty interleave produced %d refs", n)
+	}
+	refs := ctxRefs(3, 77, 1)
+	got := Collect(InterleaveQuantaN([]Source{NewSliceSource(refs)}, []uint64{5}, 0), 0)
+	refsEqual(t, "single", refs, got)
+	defer func() {
+		if recover() == nil {
+			t.Error("mismatched quanta length must panic")
+		}
+	}()
+	InterleaveQuantaN([]Source{NewSliceSource(refs)}, []uint64{1, 2}, 0)
+}
+
+// FuzzInterleaveN drives the N-way interleaver with arbitrary source counts,
+// lengths, quanta, gap patterns, batch sizes and switch limits, and checks
+// the invariants every consumer relies on: the total reference count is the
+// sum of the sources (when unlimited), every reference keeps its Ctx tag,
+// and filtering the output by Ctx reproduces each source's refs in order —
+// across batch boundaries of any size.
+func FuzzInterleaveN(f *testing.F) {
+	f.Add(uint8(2), uint16(100), uint16(50), uint8(3), uint8(0), uint8(64), uint8(0))
+	f.Add(uint8(5), uint16(40), uint16(301), uint8(1), uint8(2), uint8(7), uint8(0))
+	f.Add(uint8(8), uint16(256), uint16(9), uint8(200), uint8(5), uint8(1), uint8(12))
+	f.Add(uint8(0), uint16(0), uint16(0), uint8(0), uint8(0), uint8(3), uint8(1))
+	f.Fuzz(func(t *testing.T, nSrcs uint8, baseLen, lenStep uint16, baseQ, gap, batch, maxSwitches uint8) {
+		n := int(nSrcs%16) + 1
+		if batch == 0 {
+			batch = 1
+		}
+		srcs := make([]Source, n)
+		quanta := make([]uint64, n)
+		want := make([][]Ref, n)
+		total := 0
+		for i := 0; i < n; i++ {
+			l := (int(baseLen) + i*int(lenStep)) % 2000
+			refs := ctxRefs(uint8(i), l, gap%16)
+			want[i] = refs
+			total += l
+			srcs[i] = NewSliceSource(refs)
+			quanta[i] = uint64(baseQ)%97 + 1 + uint64(i)
+		}
+		got := drainBatch(InterleaveQuantaN(srcs, quanta, int(maxSwitches)), int(batch))
+		if maxSwitches == 0 && len(got) != total {
+			t.Fatalf("unlimited interleave: %d refs want %d", len(got), total)
+		}
+		if len(got) > total {
+			t.Fatalf("interleave invented refs: %d > %d", len(got), total)
+		}
+		// Per-context subsequences must be prefixes of (or, unlimited, equal
+		// to) the source streams, in source order, with tags intact.
+		pos := make([]int, n)
+		for i, r := range got {
+			c := int(r.Ctx)
+			if c >= n {
+				t.Fatalf("ref %d: ctx %d out of range (n=%d)", i, c, n)
+			}
+			if pos[c] >= len(want[c]) {
+				t.Fatalf("ref %d: ctx %d produced more refs than its source", i, c)
+			}
+			if r != want[c][pos[c]] {
+				t.Fatalf("ref %d: ctx %d position %d: got %+v want %+v",
+					i, c, pos[c], r, want[c][pos[c]])
+			}
+			pos[c]++
+		}
+		if maxSwitches == 0 {
+			for c := range pos {
+				if pos[c] != len(want[c]) {
+					t.Fatalf("ctx %d: emitted %d of %d refs", c, pos[c], len(want[c]))
+				}
+			}
+		}
+	})
+}

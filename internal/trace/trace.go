@@ -61,6 +61,12 @@ type Ref struct {
 	Ctx uint8
 }
 
+// MaxContexts is the number of distinct software contexts the Ctx tag can
+// carry (uint8, contexts 0..255). The consolidation builders and the
+// sharded coverage driver guard against mixes beyond this space instead of
+// silently aliasing tags.
+const MaxContexts = 256
+
 // DefaultBatch is the batch-buffer size the drivers and adapters use when
 // pumping a Source. Large enough to amortize the per-batch virtual call to
 // nothing, small enough to stay cache-resident (512 refs × 24 B ≈ 12 KB).
@@ -287,39 +293,84 @@ func Offset(src Source, delta mem.Addr, ctx uint8) Source {
 // execution alternates between the two programs with per-program quanta.
 // When one program exits, the other continues alone (no more switches); the
 // stream ends when both are exhausted, or after maxSwitches context
-// switches (0 means unlimited).
+// switches (0 means unlimited). It is the N=2 case of InterleaveQuantaN.
 func InterleaveQuanta(a, b Source, quantumA, quantumB uint64, maxSwitches int) Source {
-	pullers := [2]*Puller{NewPuller(a, 0), NewPuller(b, 0)}
-	quanta := [2]uint64{quantumA, quantumB}
-	var exhausted [2]bool
+	return InterleaveQuantaN([]Source{a, b}, []uint64{quantumA, quantumB}, maxSwitches)
+}
+
+// InterleaveQuantaN rotates execution round-robin across n sources in
+// fixed-size per-source quanta of committed instructions (memory references
+// plus their gaps), modelling context switches in a consolidated server mix.
+// quanta[i] is source i's quantum; len(quanta) must equal len(srcs).
+// Exhausted sources drop out of the rotation (rotating past one does not
+// count as a context switch); when only one source remains it runs alone.
+// The stream ends when every source is exhausted, or after maxSwitches
+// context switches (0 means unlimited). Ctx tags are preserved, not
+// assigned: tag each source before interleaving (see Offset).
+func InterleaveQuantaN(srcs []Source, quanta []uint64, maxSwitches int) Source {
+	if len(quanta) != len(srcs) {
+		panic("trace: InterleaveQuantaN: len(quanta) != len(srcs)")
+	}
+	if len(srcs) == 0 {
+		return FillFunc(func([]Ref) int { return 0 })
+	}
+	pullers := make([]*Puller, len(srcs))
+	for i, s := range srcs {
+		pullers[i] = NewPuller(s, 0)
+	}
+	exhausted := make([]bool, len(srcs))
+	live := len(srcs)
 	active := 0
 	var instrs uint64
 	switches := 0
 	stopped := false
+	// nextLive returns the first non-exhausted source after `from` in
+	// rotation order (excluding `from` itself), or -1 when no other source
+	// is live — in which case the quantum expiry does not switch and the
+	// survivor keeps running.
+	nextLive := func(from int) int {
+		for i := 1; i < len(srcs); i++ {
+			if j := (from + i) % len(srcs); !exhausted[j] {
+				return j
+			}
+		}
+		return -1
+	}
 	return FillFunc(func(buf []Ref) int {
 		for i := range buf {
 		fill:
 			for {
-				if stopped || (exhausted[0] && exhausted[1]) {
+				if stopped || live == 0 {
 					return i
 				}
 				if exhausted[active] {
-					active = 1 - active
-					instrs = 0
-					continue
-				}
-				if instrs >= quanta[active] && !exhausted[1-active] {
-					if maxSwitches > 0 && switches+1 >= maxSwitches {
-						stopped = true
+					nl := nextLive(active)
+					if nl < 0 {
 						return i
 					}
-					switches++
-					active = 1 - active
-					instrs = 0
+					active, instrs = nl, 0
+					continue
+				}
+				if instrs >= quanta[active] {
+					if nl := nextLive(active); nl >= 0 {
+						if maxSwitches > 0 && switches+1 >= maxSwitches {
+							stopped = true
+							return i
+						}
+						switches++
+						active, instrs = nl, 0
+					} else {
+						// Sole survivor: exhaustion is permanent, so no
+						// future expiry can switch either — restart the
+						// quantum so the scan above runs once per quantum,
+						// not per reference.
+						instrs = 0
+					}
 				}
 				r, ok := pullers[active].Next()
 				if !ok {
 					exhausted[active] = true
+					live--
 					continue
 				}
 				instrs += uint64(r.Gap) + 1

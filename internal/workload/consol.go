@@ -1,0 +1,45 @@
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/mem"
+	"repro/internal/trace"
+)
+
+// MaxContexts is the number of distinct software contexts a consolidation
+// stream can carry — the size of the trace.Ref.Ctx tag space.
+const MaxContexts = trace.MaxContexts
+
+// ConsolProgram couples one benchmark preset with its scheduling quantum
+// (committed instructions per turn) in a server-consolidation mix.
+type ConsolProgram struct {
+	Preset  Preset
+	Quantum uint64
+}
+
+// Consolidate builds an N-program server-consolidation reference stream:
+// program i is seeded seed+7*i (decorrelating two instances of the same
+// preset), shifted to a disjoint 4GiB physical range (i<<32, mirroring the
+// paper's non-overlapping address ranges) and tagged with context i, and
+// the programs rotate execution round-robin with per-program quanta
+// (maxSwitches as in trace.InterleaveQuantaN; 0 means unlimited). The
+// two-program form is exactly the paper's Figure 11 multi-programming
+// setup; larger mixes extend it to consolidation scenarios.
+//
+// More than MaxContexts programs cannot be tagged in the uint8 Ctx space:
+// Consolidate rejects them with an error rather than silently aliasing
+// contexts.
+func Consolidate(progs []ConsolProgram, s Scale, seed uint64, maxSwitches int) (trace.Source, error) {
+	if len(progs) > MaxContexts {
+		return nil, fmt.Errorf("workload: %d programs exceed the %d-context Ctx tag space (trace.Ref.Ctx is uint8)",
+			len(progs), MaxContexts)
+	}
+	srcs := make([]trace.Source, len(progs))
+	quanta := make([]uint64, len(progs))
+	for i, p := range progs {
+		srcs[i] = trace.Offset(p.Preset.Source(s, seed+7*uint64(i)), mem.Addr(uint64(i))<<32, uint8(i))
+		quanta[i] = p.Quantum
+	}
+	return trace.InterleaveQuantaN(srcs, quanta, maxSwitches), nil
+}

@@ -1,0 +1,91 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// TestConsolidatePairMatchesFig11Construction pins the refactor of the
+// Figure 11 stream onto the N-way machinery: a two-program consolidation
+// must reproduce, reference for reference, the original hand-built
+// Offset + InterleaveQuanta pairing (subject seeded seed, partner seed+7
+// and shifted by 1<<32).
+func TestConsolidatePairMatchesFig11Construction(t *testing.T) {
+	subject, _ := ByName("gcc")
+	partner, _ := ByName("gzip")
+	const seed, qSubj, qPart = 1, 5_000, 11_000
+
+	legacy := trace.InterleaveQuanta(
+		trace.Offset(subject.Source(Small, seed), 0, 0),
+		trace.Offset(partner.Source(Small, seed+7), 1<<32, 1),
+		qSubj, qPart, 0)
+	got, err := Consolidate([]ConsolProgram{
+		{Preset: subject, Quantum: qSubj},
+		{Preset: partner, Quantum: qPart},
+	}, Small, seed, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := trace.Collect(legacy, 0)
+	have := trace.Collect(got, 0)
+	if len(want) != len(have) {
+		t.Fatalf("length mismatch: legacy %d refs, consolidate %d refs", len(want), len(have))
+	}
+	for i := range want {
+		if want[i] != have[i] {
+			t.Fatalf("ref %d differs: legacy %+v, consolidate %+v", i, want[i], have[i])
+		}
+	}
+}
+
+// TestConsolidateContexts checks that an N-way mix carries all N context
+// tags with disjoint address ranges.
+func TestConsolidateContexts(t *testing.T) {
+	var progs []ConsolProgram
+	for _, name := range []string{"gcc", "gzip", "swim", "mcf"} {
+		p, ok := ByName(name)
+		if !ok {
+			t.Fatalf("missing preset %s", name)
+		}
+		progs = append(progs, ConsolProgram{Preset: p, Quantum: 2_000})
+	}
+	src, err := Consolidate(progs, Small, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[uint8]uint64{}
+	trace.ForEach(trace.Limit(src, 200_000), func(r trace.Ref) {
+		seen[r.Ctx]++
+		if got, want := uint64(r.Addr)>>32, uint64(r.Ctx); got != want {
+			t.Fatalf("ctx %d ref outside its 4GiB range: addr %#x", r.Ctx, r.Addr)
+		}
+	})
+	for ctx := uint8(0); ctx < 4; ctx++ {
+		if seen[ctx] == 0 {
+			t.Errorf("context %d contributed no refs", ctx)
+		}
+	}
+}
+
+// TestConsolidateCtxGuard: the uint8 Ctx tag space holds 256 contexts;
+// larger mixes must be rejected with an explicit error, not silently
+// aliased.
+func TestConsolidateCtxGuard(t *testing.T) {
+	p, _ := ByName("gcc")
+	over := make([]ConsolProgram, MaxContexts+1)
+	for i := range over {
+		over[i] = ConsolProgram{Preset: p, Quantum: 1_000}
+	}
+	if _, err := Consolidate(over, Small, 1, 0); err == nil {
+		t.Fatal("257 programs must be rejected")
+	} else if !strings.Contains(err.Error(), "Ctx") {
+		t.Errorf("error should name the Ctx tag space: %v", err)
+	}
+	// Exactly MaxContexts is representable (construction is lazy, so this
+	// does not simulate 256 programs).
+	if _, err := Consolidate(over[:MaxContexts], Small, 1, 0); err != nil {
+		t.Fatalf("256 programs must be accepted: %v", err)
+	}
+}

@@ -1,0 +1,165 @@
+// Command benchdiff compares two `make bench` snapshots (go test -json
+// benchmark output, the BENCH_core.json format) and fails when the new run
+// regresses: ns/op worse than the allowed percentage on any benchmark
+// present in the old snapshot, or any allocs/op above zero. CI runs it to
+// hold the perf trajectory (DESIGN.md §7: the three core benchmarks must
+// stay at 0 allocs/op, and PRs must not silently slow the hot paths).
+//
+// Usage:
+//
+//	benchdiff -old BENCH_core.json -new BENCH_new.json [-max-regress 10]
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// result is one parsed benchmark line.
+type result struct {
+	NsPerOp     float64
+	AllocsPerOp int64
+}
+
+// event is the subset of the go test -json record benchdiff consumes.
+type event struct {
+	Action string
+	Test   string
+	Output string
+}
+
+// parseFile extracts benchmark results from a go test -json stream. A
+// benchmark's measurement line carries the owning Test name and an Output
+// like " 4643974\t  305.4 ns/op\t  8 B/op\t  0 allocs/op". With -count>1
+// the same benchmark appears several times; the best (minimum) ns/op and
+// the worst (maximum) allocs/op are kept — best-of-N damps scheduler and
+// noisy-neighbor variance on shared runners without masking regressions
+// (a real slowdown shifts the minimum too), while any single iteration
+// that allocates still fails the zero-alloc gate.
+func parseFile(path string) (map[string]result, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	out := map[string]result{}
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var ev event
+		if err := json.Unmarshal(line, &ev); err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		if ev.Action != "output" || ev.Test == "" || !strings.Contains(ev.Output, "ns/op") {
+			continue
+		}
+		fields := strings.Fields(ev.Output)
+		r := result{AllocsPerOp: -1}
+		for i := 1; i < len(fields); i++ {
+			switch fields[i] {
+			case "ns/op":
+				if r.NsPerOp, err = strconv.ParseFloat(fields[i-1], 64); err != nil {
+					return nil, fmt.Errorf("%s: %s: bad ns/op %q", path, ev.Test, fields[i-1])
+				}
+			case "allocs/op":
+				if r.AllocsPerOp, err = strconv.ParseInt(fields[i-1], 10, 64); err != nil {
+					return nil, fmt.Errorf("%s: %s: bad allocs/op %q", path, ev.Test, fields[i-1])
+				}
+			}
+		}
+		if r.NsPerOp <= 0 {
+			continue
+		}
+		if prev, ok := out[ev.Test]; ok {
+			if prev.NsPerOp < r.NsPerOp {
+				r.NsPerOp = prev.NsPerOp
+			}
+			if prev.AllocsPerOp > r.AllocsPerOp {
+				r.AllocsPerOp = prev.AllocsPerOp
+			}
+		}
+		out[ev.Test] = r
+	}
+	return out, sc.Err()
+}
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	oldPath := flag.String("old", "BENCH_core.json", "committed benchmark snapshot")
+	newPath := flag.String("new", "", "freshly measured snapshot to check")
+	maxRegress := flag.Float64("max-regress", 10, "allowed ns/op regression in percent")
+	flag.Parse()
+	if *newPath == "" {
+		fmt.Fprintln(os.Stderr, "benchdiff: -new is required")
+		return 2
+	}
+	oldRes, err := parseFile(*oldPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		return 2
+	}
+	newRes, err := parseFile(*newPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		return 2
+	}
+	if len(oldRes) == 0 {
+		fmt.Fprintf(os.Stderr, "benchdiff: no benchmarks in %s\n", *oldPath)
+		return 2
+	}
+	failed := false
+	for _, o := range sortedByName(oldRes) {
+		n, ok := newRes[o.name]
+		if !ok {
+			fmt.Printf("FAIL %-24s missing from %s\n", o.name, *newPath)
+			failed = true
+			continue
+		}
+		delta := (n.NsPerOp - o.res.NsPerOp) / o.res.NsPerOp * 100
+		status := "ok  "
+		switch {
+		case n.AllocsPerOp != 0:
+			status = "FAIL"
+			failed = true
+		case delta > *maxRegress:
+			status = "FAIL"
+			failed = true
+		}
+		fmt.Printf("%s %-24s %10.2f -> %10.2f ns/op (%+6.1f%%)  %d allocs/op\n",
+			status, o.name, o.res.NsPerOp, n.NsPerOp, delta, n.AllocsPerOp)
+	}
+	if failed {
+		fmt.Printf("benchdiff: regression beyond %.0f%% ns/op or allocs/op > 0\n", *maxRegress)
+		return 1
+	}
+	return 0
+}
+
+// namedResult pairs a benchmark with its result for deterministic output.
+type namedResult struct {
+	name string
+	res  result
+}
+
+// sortedByName yields results in lexical benchmark order.
+func sortedByName(m map[string]result) []namedResult {
+	out := make([]namedResult, 0, len(m))
+	for name, r := range m {
+		out = append(out, namedResult{name, r})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out
+}

@@ -18,6 +18,7 @@
 //   - internal/runner: simulation-cell scheduler (worker pool + result cache)
 //   - internal/exp: one experiment per paper figure/table, built from cells
 //   - cmd/ltsim, cmd/ltexp, cmd/lttrace: command-line front ends
+//   - cmd/benchdiff: benchmark-snapshot regression gate (CI)
 //
 // See DESIGN.md for the system inventory and the per-experiment index, and
 // EXPERIMENTS.md for paper-versus-measured results.

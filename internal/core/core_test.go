@@ -56,10 +56,10 @@ func TestSigCacheBasics(t *testing.T) {
 	sc := newSigCache(8, 2)
 	sc.insert(sigEntry{sig: 1, repl: 0x100, frame: 0, off: 0, conf: 2})
 	e := sc.lookup(1)
-	if e == nil || e.repl != 0x100 {
+	if e < 0 || sc.meta[e].repl != 0x100 {
 		t.Fatal("lookup after insert failed")
 	}
-	if sc.lookup(2) != nil {
+	if sc.lookup(2) >= 0 {
 		t.Error("phantom hit")
 	}
 	// Same (sig, frame, off) refreshes in place rather than duplicating.
@@ -67,7 +67,7 @@ func TestSigCacheBasics(t *testing.T) {
 	if sc.validCount() != 1 {
 		t.Errorf("duplicate insert created %d entries", sc.validCount())
 	}
-	if sc.lookup(1).repl != 0x200 {
+	if sc.meta[sc.lookup(1)].repl != 0x200 {
 		t.Error("refresh did not update")
 	}
 }
@@ -81,10 +81,10 @@ func TestSigCacheFIFOWithinSet(t *testing.T) {
 	// sig 0 it is newest; sig 4 is oldest.
 	sc.insert(sigEntry{sig: 0, frame: 1, off: 1})
 	sc.insert(sigEntry{sig: 8, frame: 1, off: 3})
-	if sc.lookup(4) != nil {
+	if sc.lookup(4) >= 0 {
 		t.Error("FIFO should have evicted sig 4")
 	}
-	if sc.lookup(0) == nil || sc.lookup(8) == nil {
+	if sc.lookup(0) < 0 || sc.lookup(8) < 0 {
 		t.Error("wrong entries evicted")
 	}
 }
@@ -93,7 +93,7 @@ func TestSigCacheInvalidate(t *testing.T) {
 	sc := newSigCache(8, 2)
 	sc.insert(sigEntry{sig: 3, frame: 2, off: 5})
 	sc.invalidate(3, 2, 5)
-	if sc.lookup(3) != nil {
+	if sc.lookup(3) >= 0 {
 		t.Error("invalidate failed")
 	}
 	// Invalidating a non-resident entry is a no-op.
@@ -267,12 +267,12 @@ func TestEarlyEvictionResetsConfidence(t *testing.T) {
 	// signature cache, and a lastPred entry pointing at it.
 	pr.frames[0].sigs = []storedSig{{repl: 0x4000, sig: 77, conf: 3}}
 	pr.sc.insert(sigEntry{sig: 77, repl: 0x4000, conf: 3, frame: 0, off: 0})
-	pr.lastPred[0x8000] = predLoc{0, 0}
+	pr.lastPred.put(0x8000, predLoc{0, 0})
 	pr.OnEarlyEviction(0x8000)
 	if got := pr.frames[0].sigs[0].conf; got != 0 {
 		t.Errorf("off-chip conf = %d want 0", got)
 	}
-	if got := pr.sc.lookup(history.Signature(77)).conf; got != 0 {
+	if got := pr.sc.meta[pr.sc.lookup(history.Signature(77))].conf; got != 0 {
 		t.Errorf("on-chip conf = %d want 0", got)
 	}
 	// Unknown block: no-op.
@@ -287,12 +287,12 @@ func TestCoveredEpisodeCarriesConfidence(t *testing.T) {
 	pr.sc.insert(sigEntry{sig: 123, repl: 0x4000, conf: 2, frame: 0, off: 0})
 	pr.frames[0].sigs = []storedSig{{repl: 0x4000, sig: 123, conf: 2}}
 	pr.carryAndRecord(history.Signature(123), 0x4000)
-	if got := pr.sc.lookup(history.Signature(123)).conf; got != 2 {
+	if got := pr.sc.meta[pr.sc.lookup(history.Signature(123))].conf; got != 2 {
 		t.Errorf("on-chip conf after carry = %d want 2 (unchanged)", got)
 	}
 	// The demand path with matching evidence does boost.
 	pr.verifyAndRecord(history.Signature(123), 0x4000)
-	if got := pr.sc.lookup(history.Signature(123)).conf; got != 3 {
+	if got := pr.sc.meta[pr.sc.lookup(history.Signature(123))].conf; got != 3 {
 		t.Errorf("on-chip conf after demand verify = %d want 3", got)
 	}
 }

@@ -84,7 +84,7 @@ type Predictor struct {
 	ringN    uint64
 	writeBuf int
 
-	lastPred map[mem.Addr]predLoc // victim block -> predicting signature location
+	lastPred *predTable // victim block -> predicting signature location
 
 	stats Stats
 }
@@ -115,7 +115,7 @@ func New(l1 cache.Config, p Params) (*Predictor, error) {
 		frameMask: int32(p.Frames - 1),
 		window:    make([]int32, p.Frames),
 		ring:      make([]history.Signature, p.HeadLookahead),
-		lastPred:  make(map[mem.Addr]predLoc, 1024),
+		lastPred:  newPredTable(),
 	}, nil
 }
 
@@ -161,22 +161,26 @@ func (pr *Predictor) OnAccess(ref trace.Ref, hit bool, evicted *cache.EvictInfo,
 		pr.verifyAndRecord(evictSig, curBlock)
 	}
 
-	if e := pr.sc.lookup(cur); e != nil {
+	if i := pr.sc.lookup(cur); i >= 0 {
 		pr.stats.SigCacheHits++
-		// Consume: advance this fragment's sliding window.
-		pr.stream(e.frame, int(e.off)+pr.p.WindowAhead)
-		if e.conf >= pr.p.ConfThresh && e.repl != curBlock {
+		// Consume: advance this fragment's sliding window. The meta lane
+		// is re-read through the index afterwards on purpose: streaming
+		// may overwrite this very way, and the prediction must see what
+		// the hardware's entry holds at that point.
+		m := &pr.sc.meta[i]
+		pr.stream(m.frame, int(m.off)+pr.p.WindowAhead)
+		if m.conf >= pr.p.ConfThresh && m.repl != curBlock {
 			// This access is predicted to be the last touch of curBlock;
 			// fetch the replacement directly over it. The fill itself is
 			// reported back via OnPrefetchFill, which closes curBlock's
 			// episode and records its signature.
 			if pr.p.TargetL2 {
-				preds = append(preds, sim.Prediction{Addr: e.repl, ToL2: true})
+				preds = append(preds, sim.Prediction{Addr: m.repl, ToL2: true})
 			} else {
-				preds = append(preds, sim.Prediction{Addr: e.repl, Victim: curBlock, UseVictim: true})
+				preds = append(preds, sim.Prediction{Addr: m.repl, Victim: curBlock, UseVictim: true})
 			}
 			pr.stats.Predictions++
-			pr.notePrediction(curBlock, predLoc{e.frame, e.off})
+			pr.notePrediction(curBlock, predLoc{m.frame, m.off})
 		}
 	}
 
@@ -220,8 +224,8 @@ func (pr *Predictor) sigBits() uint {
 // evidence (verifyAndRecord) moves the counter up.
 func (pr *Predictor) carryAndRecord(sig history.Signature, repl mem.Addr) {
 	conf := pr.p.ConfInit
-	if e := pr.sc.lookup(sig); e != nil {
-		conf = e.conf
+	if i := pr.sc.lookup(sig); i >= 0 {
+		conf = pr.sc.meta[i].conf
 	}
 	pr.record(sig, repl, conf)
 }
@@ -231,11 +235,11 @@ func (pr *Predictor) carryAndRecord(sig history.Signature, repl mem.Addr) {
 // prematurely. Lower the predicting signature's confidence (direct off-chip
 // update through the stored pointer, Section 4.4).
 func (pr *Predictor) OnEarlyEviction(block mem.Addr) {
-	loc, ok := pr.lastPred[block]
+	loc, ok := pr.lastPred.get(block)
 	if !ok {
 		return
 	}
-	delete(pr.lastPred, block)
+	pr.lastPred.del(block)
 	fr := &pr.frames[loc.frame]
 	if int(loc.off) >= len(fr.sigs) {
 		return
@@ -247,18 +251,18 @@ func (pr *Predictor) OnEarlyEviction(block mem.Addr) {
 	s.conf = 0
 	pr.stats.ConfUpdates++
 	pr.stats.ConfWriteBytes++
-	if e := pr.sc.lookup(s.sig); e != nil {
-		e.conf = 0
+	if i := pr.sc.lookup(s.sig); i >= 0 {
+		pr.sc.meta[i].conf = 0
 	}
 }
 
 func (pr *Predictor) notePrediction(victim mem.Addr, loc predLoc) {
-	if len(pr.lastPred) > 1<<16 {
-		// Bound the bookkeeping map; stale entries only cost missed
+	if pr.lastPred.len() > 1<<16 {
+		// Bound the bookkeeping table; stale entries only cost missed
 		// confidence decrements.
-		pr.lastPred = make(map[mem.Addr]predLoc, 1024)
+		pr.lastPred.reset()
 	}
-	pr.lastPred[victim] = loc
+	pr.lastPred.put(victim, loc)
 }
 
 // verifyAndRecord updates confidence of the on-chip copy of sig against the
@@ -273,19 +277,20 @@ func (pr *Predictor) notePrediction(victim mem.Addr, loc predLoc) {
 // become invalid").
 func (pr *Predictor) verifyAndRecord(sig history.Signature, repl mem.Addr) {
 	conf := pr.p.ConfInit
-	if e := pr.sc.lookup(sig); e != nil {
-		if e.repl == repl {
-			if e.conf < pr.p.ConfMax {
-				e.conf++
+	if i := pr.sc.lookup(sig); i >= 0 {
+		m := &pr.sc.meta[i]
+		if m.repl == repl {
+			if m.conf < pr.p.ConfMax {
+				m.conf++
 			}
-		} else if e.conf > 0 {
-			e.conf--
+		} else if m.conf > 0 {
+			m.conf--
 		}
-		conf = e.conf
+		conf = m.conf
 		// Write the counter through to the off-chip copy.
-		fr := &pr.frames[e.frame]
-		if int(e.off) < len(fr.sigs) && fr.sigs[e.off].sig == e.sig {
-			fr.sigs[e.off].conf = e.conf
+		fr := &pr.frames[m.frame]
+		if int(m.off) < len(fr.sigs) && fr.sigs[m.off].sig == pr.sc.sigs[i] {
+			fr.sigs[m.off].conf = m.conf
 			pr.stats.ConfUpdates++
 			pr.stats.ConfWriteBytes++
 		}
@@ -368,6 +373,14 @@ func (pr *Predictor) stream(f int32, upTo int) {
 		end := w + pr.p.TransferUnit
 		if end > n {
 			end = n
+		}
+		// Two-pass transfer: first touch every target set of the transfer
+		// unit — the loads are independent, so their (random, ~megabyte
+		// working set) memory latencies overlap at full memory-level
+		// parallelism — then run the inserts over warm lines. The warming
+		// pass changes no state; the insert sequence is identical.
+		for i := w; i < end; i++ {
+			pr.sc.warm(fr.sigs[i].sig)
 		}
 		for i := w; i < end; i++ {
 			s := fr.sigs[i]

@@ -1,0 +1,107 @@
+package core
+
+import "repro/internal/mem"
+
+// predTable maps victim block addresses to the off-chip location of the
+// signature that predicted them (the Section 4.4 confidence-decrement
+// bookkeeping). It is an exact drop-in for the built-in map it replaces —
+// same key→value mapping, same live-entry count for the reset bound — as
+// an open-addressing table with linear probing: the driver records a
+// prediction every few references, and the general-purpose map's hashing
+// and bucket indirection dominated the coverage profile. Deletion
+// re-settles the probe cluster in place (Knuth 6.4 algorithm R), so the
+// table never accumulates tombstones and lookups always terminate at an
+// empty slot.
+type predTable struct {
+	keys  []mem.Addr
+	vals  []predLoc
+	state []uint8 // 0 empty, 1 live
+	mask  uint32
+	n     int
+}
+
+// predTableSlots is sized at twice the predictor's 64K live-entry bound
+// (notePrediction resets the table beyond that), keeping the load factor
+// at most ~0.5 so probe chains stay short.
+const predTableSlots = 1 << 17
+
+func newPredTable() *predTable {
+	return &predTable{
+		keys:  make([]mem.Addr, predTableSlots),
+		vals:  make([]predLoc, predTableSlots),
+		state: make([]uint8, predTableSlots),
+		mask:  predTableSlots - 1,
+	}
+}
+
+func (t *predTable) home(block mem.Addr) uint32 {
+	return uint32((uint64(block)*0x9E3779B97F4A7C15)>>32) & t.mask
+}
+
+func (t *predTable) len() int { return t.n }
+
+func (t *predTable) get(block mem.Addr) (predLoc, bool) {
+	i := t.home(block)
+	for t.state[i] != 0 {
+		if t.keys[i] == block {
+			return t.vals[i], true
+		}
+		i = (i + 1) & t.mask
+	}
+	return predLoc{}, false
+}
+
+func (t *predTable) put(block mem.Addr, v predLoc) {
+	i := t.home(block)
+	for t.state[i] != 0 {
+		if t.keys[i] == block {
+			t.vals[i] = v
+			return
+		}
+		i = (i + 1) & t.mask
+	}
+	t.keys[i] = block
+	t.vals[i] = v
+	t.state[i] = 1
+	t.n++
+}
+
+func (t *predTable) del(block mem.Addr) bool {
+	i := t.home(block)
+	for {
+		if t.state[i] == 0 {
+			return false
+		}
+		if t.keys[i] == block {
+			break
+		}
+		i = (i + 1) & t.mask
+	}
+	t.state[i] = 0
+	t.n--
+	// Re-settle the cluster following the hole: every entry between the
+	// hole and the next empty slot moves back into the hole unless its
+	// home position lies cyclically within (hole, entry].
+	j := i
+	for {
+		j = (j + 1) & t.mask
+		if t.state[j] == 0 {
+			return true
+		}
+		h := t.home(t.keys[j])
+		if (j > i && (h <= i || h > j)) || (j < i && h <= i && h > j) {
+			t.keys[i] = t.keys[j]
+			t.vals[i] = t.vals[j]
+			t.state[i] = 1
+			t.state[j] = 0
+			i = j
+		}
+	}
+}
+
+// reset empties the table (the bounded-bookkeeping reset; stale keys/vals
+// behind cleared state bytes are unreachable).
+func (t *predTable) reset() {
+	clear(t.state)
+	t.n = 0
+}

@@ -1,0 +1,61 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/mem"
+)
+
+// TestPredTableMatchesMap drives random put/get/del/reset sequences
+// against a reference Go map: the table must behave as an exact
+// associative array (it replaced the map on the hot path, so any
+// divergence would silently change prediction-confidence evolution).
+func TestPredTableMatchesMap(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		tab := newPredTable()
+		ref := map[mem.Addr]predLoc{}
+		for op := 0; op < 200_000; op++ {
+			// A small key space forces collisions, overwrites and
+			// delete-then-reinsert chains through shared probe clusters.
+			block := mem.Addr(rng.Intn(1<<12)) * 64
+			switch rng.Intn(10) {
+			case 0, 1, 2, 3, 4, 5:
+				v := predLoc{frame: rng.Int31n(100), off: rng.Int31n(100)}
+				tab.put(block, v)
+				ref[block] = v
+			case 6, 7:
+				got, ok := tab.get(block)
+				want, wok := ref[block]
+				if ok != wok || got != want {
+					t.Fatalf("seed %d op %d: get(%#x) = %+v,%v want %+v,%v", seed, op, block, got, ok, want, wok)
+				}
+			case 8:
+				gdel := tab.del(block)
+				_, wok := ref[block]
+				if gdel != wok {
+					t.Fatalf("seed %d op %d: del(%#x) = %v want %v", seed, op, block, gdel, wok)
+				}
+				delete(ref, block)
+			default:
+				if rng.Intn(500) == 0 {
+					tab.reset()
+					ref = map[mem.Addr]predLoc{}
+				}
+			}
+			if tab.len() != len(ref) {
+				t.Fatalf("seed %d op %d: len %d want %d", seed, op, tab.len(), len(ref))
+			}
+		}
+		// Full sweep: every live key must be retrievable, every dead key absent.
+		for k := mem.Addr(0); k < 1<<12; k++ {
+			block := k * 64
+			got, ok := tab.get(block)
+			want, wok := ref[block]
+			if ok != wok || (ok && got != want) {
+				t.Fatalf("seed %d sweep: get(%#x) = %+v,%v want %+v,%v", seed, block, got, ok, want, wok)
+			}
+		}
+	}
+}

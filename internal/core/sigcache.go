@@ -5,53 +5,86 @@ import (
 	"repro/internal/mem"
 )
 
-// sigEntry is one on-chip signature cache entry. Besides the signature and
-// its prediction, it carries the pointer to the signature's exact location
-// in off-chip sequence storage (paper Section 4.3: the pointer identifies
-// the frame, advances the fragment's sliding window, and allows direct
-// confidence write-backs).
+// sigEntry is the value form of one on-chip signature cache entry, used to
+// insert: the signature and its prediction, plus the pointer to the
+// signature's exact location in off-chip sequence storage (paper Section
+// 4.3: the pointer identifies the frame, advances the fragment's sliding
+// window, and allows direct confidence write-backs).
 type sigEntry struct {
-	valid bool
-	conf  uint8
 	sig   history.Signature
 	frame int32
 	off   int32
-	fifo  uint64
+	conf  uint8
 	repl  mem.Addr
+}
+
+// sigMeta is the payload lane of one entry (everything the probe loop does
+// not need).
+type sigMeta struct {
+	repl  mem.Addr
+	frame int32
+	off   int32
+	conf  uint8
 }
 
 // sigCache is the set-associative on-chip signature cache. Signatures are
 // replaced in FIFO order within a set (paper Section 4.3).
+//
+// Storage is structure-of-arrays, mirroring the cache package's tag-store
+// layout (DESIGN.md §9): the probe loops (lookup's match scan, insert's
+// dedup + FIFO victim scan) touch only the 4-byte sig lane and the 8-byte
+// fifo lane, so the scan working set of the default 32K-entry cache is
+// ~384KB instead of the >1MB an array-of-structs layout costs; the payload
+// lane is touched only on an actual match or fill. The fifo lane doubles
+// as the valid flag: 0 means empty (the insert clock starts at 1).
 type sigCache struct {
-	entries []sigEntry
+	sigs []history.Signature
+	fifo []uint64
+	meta []sigMeta
+
 	setMask uint32
 	assoc   int
 	clock   uint64
+	// warmSink keeps the warm() reads observable so they are not dead-code
+	// eliminated; its value is never consumed.
+	warmSink uint64
 }
 
 func newSigCache(entries, assoc int) *sigCache {
 	sets := entries / assoc
 	return &sigCache{
-		entries: make([]sigEntry, entries),
+		sigs:    make([]history.Signature, entries),
+		fifo:    make([]uint64, entries),
+		meta:    make([]sigMeta, entries),
 		setMask: uint32(sets - 1),
 		assoc:   assoc,
 	}
 }
 
-func (s *sigCache) set(sig history.Signature) []sigEntry {
-	base := int(uint32(sig)&s.setMask) * s.assoc
-	return s.entries[base : base+s.assoc]
+// setBase returns the index of sig's set's first way.
+func (s *sigCache) setBase(sig history.Signature) int {
+	return int(uint32(sig)&s.setMask) * s.assoc
 }
 
-// lookup returns the entry holding sig, or nil.
-func (s *sigCache) lookup(sig history.Signature) *sigEntry {
-	set := s.set(sig)
-	for i := range set {
-		if set[i].valid && set[i].sig == sig {
-			return &set[i]
+// lookup returns the way index holding sig, or -1. Callers read and mutate
+// the entry through the meta lane at the returned index; the index stays
+// valid until the next insert to the same set.
+func (s *sigCache) lookup(sig history.Signature) int {
+	base := s.setBase(sig)
+	for i := base; i < base+s.assoc; i++ {
+		if s.sigs[i] == sig && s.fifo[i] != 0 {
+			return i
 		}
 	}
-	return nil
+	return -1
+}
+
+// warm touches sig's probe lanes without changing any state, so the
+// bulk-streaming insert loop can overlap the set's memory latency with the
+// inserts ahead of it.
+func (s *sigCache) warm(sig history.Signature) {
+	base := s.setBase(sig)
+	s.warmSink += uint64(s.sigs[base]) + s.fifo[base]
 }
 
 // insert places a signature, refreshing in place if the same off-chip
@@ -59,34 +92,36 @@ func (s *sigCache) lookup(sig history.Signature) *sigEntry {
 // entry of the set.
 func (s *sigCache) insert(e sigEntry) {
 	s.clock++
-	e.valid = true
-	e.fifo = s.clock
-	set := s.set(e.sig)
-	victim := 0
-	oldest := set[0].fifo
-	for i := range set {
-		if set[i].valid && set[i].sig == e.sig && set[i].frame == e.frame && set[i].off == e.off {
-			set[i] = e
-			return
+	base := s.setBase(e.sig)
+	victim, oldest := base, s.fifo[base]
+	for i := base; i < base+s.assoc; i++ {
+		f := s.fifo[i]
+		if f != 0 && s.sigs[i] == e.sig {
+			if m := &s.meta[i]; m.frame == e.frame && m.off == e.off {
+				*m = sigMeta{repl: e.repl, frame: e.frame, off: e.off, conf: e.conf}
+				s.fifo[i] = s.clock
+				return
+			}
 		}
-		if !set[i].valid {
-			victim = i
-			oldest = 0
+		if f == 0 {
+			victim, oldest = i, 0
 			continue
 		}
-		if set[i].fifo < oldest {
-			victim, oldest = i, set[i].fifo
+		if f < oldest {
+			victim, oldest = i, f
 		}
 	}
-	set[victim] = e
+	s.sigs[victim] = e.sig
+	s.fifo[victim] = s.clock
+	s.meta[victim] = sigMeta{repl: e.repl, frame: e.frame, off: e.off, conf: e.conf}
 }
 
 // invalidate drops the entry if present.
 func (s *sigCache) invalidate(sig history.Signature, frame, off int32) {
-	set := s.set(sig)
-	for i := range set {
-		if set[i].valid && set[i].sig == sig && set[i].frame == frame && set[i].off == off {
-			set[i].valid = false
+	base := s.setBase(sig)
+	for i := base; i < base+s.assoc; i++ {
+		if s.fifo[i] != 0 && s.sigs[i] == sig && s.meta[i].frame == frame && s.meta[i].off == off {
+			s.fifo[i] = 0
 			return
 		}
 	}
@@ -95,8 +130,8 @@ func (s *sigCache) invalidate(sig history.Signature, frame, off int32) {
 // validCount reports the number of valid entries (tests).
 func (s *sigCache) validCount() int {
 	n := 0
-	for i := range s.entries {
-		if s.entries[i].valid {
+	for i := range s.fifo {
+		if s.fifo[i] != 0 {
 			n++
 		}
 	}

@@ -37,7 +37,7 @@ func TestSigCacheModelBased(t *testing.T) {
 						break
 					}
 				}
-				if (got != nil) != found {
+				if (got >= 0) != found {
 					return false
 				}
 				continue
@@ -106,12 +106,12 @@ func TestSigCacheFieldFidelity(t *testing.T) {
 	hits := 0
 	for i := 0; i < 100; i++ {
 		e := sc.lookup(history.Signature(i * 7919))
-		if e == nil {
+		if e < 0 {
 			continue // may have been FIFO-evicted by a set conflict
 		}
 		hits++
-		if e.repl != mem.Addr(i*64) || e.off != int32(i) || e.conf != uint8(i%4) {
-			t.Fatalf("entry %d corrupted: %+v", i, e)
+		if m := sc.meta[e]; m.repl != mem.Addr(i*64) || m.off != int32(i) || m.conf != uint8(i%4) {
+			t.Fatalf("entry %d corrupted: %+v", i, m)
 		}
 	}
 	if hits < 80 {

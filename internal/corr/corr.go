@@ -167,52 +167,65 @@ func Analyze(src trace.Source, cfg Config) (Result, error) {
 		}
 	}
 
-	var now uint64
-	trace.ForEach(src, func(ref trace.Ref) {
-		now += uint64(ref.Gap) + 1
-		res.Refs++
-		r := l1.Access(ref.Addr, ref.Kind == trace.Store, now)
-		if r.Hit {
-			return
+	// Batch pump (DESIGN.md §7/§9): the reference batch goes through the
+	// L1 filter in one AccessBatch call — the analysis itself needs the
+	// full per-miss eviction records — and only the misses flow into the
+	// per-reference correlation bookkeeping below.
+	refBuf := make([]trace.Ref, trace.DefaultBatch)
+	lanes := trace.NewBatchLanes(trace.DefaultBatch)
+	rbuf := make([]cache.AccessResult, trace.DefaultBatch)
+	for {
+		n := src.ReadRefs(refBuf)
+		if n == 0 {
+			break
 		}
-		missIdx++
-		res.Misses++
-		label := MissLabel{PC: ref.PC, Block: geo.BlockAddr(ref.Addr)}
-		if r.Evicted.Valid {
-			label.Evicted = r.Evicted.Addr
-			res.DeadTimes.Add(r.Evicted.DeadTime)
-			if len(evicts) < cfg.MaxEvictions {
-				evicts = append(evicts, evictRec{missIdx: missIdx, lastTouch: r.Evicted.LastTouch})
+		lanes.Fill(refBuf[:n])
+		res.Refs += uint64(n)
+		l1.AccessBatch(lanes.Addrs[:n], lanes.Writes[:n], lanes.Nows[:n], rbuf[:n])
+		for i := 0; i < n; i++ {
+			r := &rbuf[i]
+			if r.Hit {
+				continue
 			}
-		}
+			missIdx++
+			res.Misses++
+			label := MissLabel{PC: refBuf[i].PC, Block: geo.BlockAddr(lanes.Addrs[i])}
+			if r.Evicted.Valid {
+				label.Evicted = r.Evicted.Addr
+				res.DeadTimes.Add(r.Evicted.DeadTime)
+				if len(evicts) < cfg.MaxEvictions {
+					evicts = append(evicts, evictRec{missIdx: missIdx, lastTouch: r.Evicted.LastTouch})
+				}
+			}
 
-		if havePrev {
-			pX, okX := lastIdx[prevLabel]
-			pY, okY := lastIdx[label]
-			if okX && okY {
-				dist := int64(pY) - int64(pX)
-				if dist == 1 {
-					res.PerfectPairs++
-				}
-				ad := dist
-				if ad < 0 {
-					ad = -ad
-				}
-				res.DistHist.Add(uint64(ad))
-				if ad <= cfg.SeqWindow {
-					runLen++
+			if havePrev {
+				pX, okX := lastIdx[prevLabel]
+				pY, okY := lastIdx[label]
+				if okX && okY {
+					dist := int64(pY) - int64(pX)
+					if dist == 1 {
+						res.PerfectPairs++
+					}
+					ad := dist
+					if ad < 0 {
+						ad = -ad
+					}
+					res.DistHist.Add(uint64(ad))
+					if ad <= cfg.SeqWindow {
+						runLen++
+					} else {
+						endRun()
+					}
 				} else {
+					res.Uncorrelated++
 					endRun()
 				}
-			} else {
-				res.Uncorrelated++
-				endRun()
+				lastIdx[prevLabel] = missIdx - 1
 			}
-			lastIdx[prevLabel] = missIdx - 1
+			prevLabel = label
+			havePrev = true
 		}
-		prevLabel = label
-		havePrev = true
-	})
+	}
 	if havePrev {
 		lastIdx[prevLabel] = missIdx
 	}

@@ -168,9 +168,19 @@ type Engine struct {
 	l1     *cache.Cache
 	l2     *cache.Cache
 	tlb    *cache.Cache
+	geo    mem.Geometry // l1 geometry, cached off the hot path
 	busL2  *bus.Line
 	dram   *bus.DRAM
 	memBus *bus.Line
+
+	// Batch prep lanes (see Run): per-reference block addresses and
+	// precomputed L1/TLB set-index+tag pairs, extracted in one pass over
+	// each reference batch before the serialized per-reference walk.
+	blocks  []mem.Addr
+	l1Sets  []int32
+	l1Tags  []mem.Addr
+	tlbSets []int32
+	tlbTags []mem.Addr
 
 	cycle      uint64
 	instrs     uint64
@@ -239,11 +249,41 @@ func NewEngine(p Params, l1cfg, l2cfg cache.Config) (*Engine, error) {
 		l1:        l1,
 		l2:        l2,
 		tlb:       tlb,
+		geo:       l1.Geometry(),
 		busL2:     bus.NewLine("l1l2", 2),
 		memBus:    memBus,
 		dram:      bus.NewDRAM(memBus),
 		pfTracker: make(map[mem.Addr]uint64, 256),
+		blocks:    make([]mem.Addr, trace.DefaultBatch),
+		l1Sets:    make([]int32, trace.DefaultBatch),
+		l1Tags:    make([]mem.Addr, trace.DefaultBatch),
+		tlbSets:   make([]int32, trace.DefaultBatch),
+		tlbTags:   make([]mem.Addr, trace.DefaultBatch),
 	}, nil
+}
+
+// prep runs the batch extraction pass: block addresses and L1/TLB
+// set-index/tag pairs for every reference in the batch, into the engine's
+// reused lanes. The per-reference machine walk is inherently serialized
+// (every latency depends on the previous reference's completion), but the
+// address arithmetic is not — hoisting it here keeps the serialized loop
+// free of geometry work and the extraction loop vectorizable.
+func (e *Engine) prep(refs []trace.Ref) {
+	if len(refs) > len(e.blocks) {
+		e.blocks = make([]mem.Addr, len(refs))
+		e.l1Sets = make([]int32, len(refs))
+		e.l1Tags = make([]mem.Addr, len(refs))
+		e.tlbSets = make([]int32, len(refs))
+		e.tlbTags = make([]mem.Addr, len(refs))
+	}
+	tgeo := e.tlb.Geometry()
+	for i, ref := range refs {
+		e.blocks[i] = e.geo.BlockAddr(ref.Addr)
+		e.l1Sets[i] = int32(e.geo.Index(ref.Addr))
+		e.l1Tags[i] = e.geo.Tag(ref.Addr)
+		e.tlbSets[i] = int32(tgeo.Index(ref.Addr))
+		e.tlbTags[i] = tgeo.Tag(ref.Addr)
+	}
 }
 
 // memBusIdleGrant returns now (prefetches are issued opportunistically;
@@ -317,12 +357,13 @@ func (e *Engine) drainPrefetches(now uint64, filler sim.PrefetchFillObserver) {
 }
 
 // fetchLatency walks the memory system for a demand access issued at time
-// at and returns (completionTime, missedL1, missedL2, offChipBytes).
-func (e *Engine) fetchLatency(at uint64, addr mem.Addr, write bool) (uint64, bool, bool, uint64) {
+// at and returns (completionTime, missedL1, missedL2, offChipBytes). block,
+// l1idx and l1tag are the reference's prep-pass extractions.
+func (e *Engine) fetchLatency(at uint64, addr, block mem.Addr, l1idx int, l1tag mem.Addr, write bool) (uint64, bool, bool, uint64) {
 	if e.p.PerfectL1 {
 		return at + uint64(e.l1cfg.HitLatency), false, false, 0
 	}
-	res := e.l1.Access(addr, write, at)
+	res := e.l1.AccessIndexed(l1idx, l1tag, write, at)
 	if res.Evicted.Valid {
 		e.lastEvict = res.Evicted
 		e.lastEvictValid = true
@@ -334,7 +375,7 @@ func (e *Engine) fetchLatency(at uint64, addr mem.Addr, write bool) (uint64, boo
 		return at + uint64(e.l1cfg.HitLatency), false, false, 0
 	}
 	// In-flight prefetch to the same block: merge with it.
-	if ready, ok := e.pfTracker[e.l1.Geometry().BlockAddr(addr)]; ok {
+	if ready, ok := e.pfTracker[block]; ok {
 		done := ready
 		if m := at + uint64(e.l1cfg.HitLatency); done < m {
 			done = m
@@ -370,7 +411,7 @@ func (e *Engine) issuePrefetch(now uint64, p sim.Prediction) {
 	if e.p.PerfectL1 {
 		return
 	}
-	block := e.l1.Geometry().BlockAddr(p.Addr)
+	block := e.geo.BlockAddr(p.Addr)
 	if p.ToL2 {
 		if e.l2.Probe(block) {
 			return
@@ -432,8 +473,9 @@ func (e *Engine) Run(src trace.Source, pf sim.Prefetcher) Result {
 		e.predScratch = make([]sim.Prediction, 0, 16)
 	}
 	for nrefs := src.ReadRefs(refBuf); nrefs > 0; nrefs = src.ReadRefs(refBuf) {
-		for _, ref := range refBuf[:nrefs] {
-			e.step(ref, pf, filler, traffic)
+		e.prep(refBuf[:nrefs])
+		for i, ref := range refBuf[:nrefs] {
+			e.step(ref, i, pf, filler, traffic)
 		}
 	}
 	// Drain: run to completion of all outstanding operations.
@@ -465,8 +507,9 @@ func (e *Engine) Run(src trace.Source, pf sim.Prefetcher) Result {
 	return e.res
 }
 
-// step advances the machine by one committed reference.
-func (e *Engine) step(ref trace.Ref, pf sim.Prefetcher, filler sim.PrefetchFillObserver, traffic OffChipTraffic) {
+// step advances the machine by one committed reference; i indexes the
+// reference's prep-pass extractions.
+func (e *Engine) step(ref trace.Ref, i int, pf sim.Prefetcher, filler sim.PrefetchFillObserver, traffic OffChipTraffic) {
 	e.res.Refs++
 	n := uint64(ref.Gap) + 1
 	e.instrs += n
@@ -502,7 +545,7 @@ func (e *Engine) step(ref trace.Ref, pf sim.Prefetcher, filler sim.PrefetchFillO
 	}
 
 	// TLB.
-	if !e.tlb.Access(ref.Addr, false, e.cycle).Hit {
+	if !e.tlb.AccessIndexed(int(e.tlbSets[i]), e.tlbTags[i], false, e.cycle).Hit {
 		e.res.TLBMiss++
 		issue += uint64(e.p.TLBPenalty)
 	}
@@ -510,7 +553,8 @@ func (e *Engine) step(ref trace.Ref, pf sim.Prefetcher, filler sim.PrefetchFillO
 	issue = e.mshrGate(issue)
 
 	write := ref.Kind == trace.Store
-	done, l1miss, l2miss, offBytes := e.fetchLatency(issue, ref.Addr, write)
+	block := e.blocks[i]
+	done, l1miss, l2miss, offBytes := e.fetchLatency(issue, ref.Addr, block, int(e.l1Sets[i]), e.l1Tags[i], write)
 	e.res.BytesBaseData += offBytes
 	if l1miss {
 		e.res.L1Misses++
@@ -533,7 +577,7 @@ func (e *Engine) step(ref trace.Ref, pf sim.Prefetcher, filler sim.PrefetchFillO
 	e.predScratch = pf.OnAccess(ref, !l1miss, evp, e.predScratch[:0])
 	e.lastEvictValid = false
 	for _, p := range e.predScratch {
-		if e.l1.Geometry().BlockAddr(p.Addr) == e.l1.Geometry().BlockAddr(ref.Addr) {
+		if e.geo.BlockAddr(p.Addr) == block {
 			continue
 		}
 		e.issuePrefetch(e.cycle, p)

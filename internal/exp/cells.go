@@ -10,6 +10,7 @@ import (
 	"repro/internal/cpu"
 	"repro/internal/dbcp"
 	"repro/internal/ghb"
+	"repro/internal/mem"
 	"repro/internal/runner"
 	"repro/internal/sim"
 	"repro/internal/stats"
@@ -203,13 +204,34 @@ func (o Options) missRateCell(p workload.Preset, l1cfg, l2cfg cache.Config) runn
 		if err != nil {
 			return missRates{}, err
 		}
-		var now uint64
-		trace.ForEach(p.Source(o.Scale, o.seed()), func(ref trace.Ref) {
-			now += uint64(ref.Gap) + 1
-			if !l1.Access(ref.Addr, ref.Kind == trace.Store, now).Hit {
-				l2.Access(ref.Addr, false, now)
+		// Batch pump: the L1 filters whole reference batches, the L2 sees
+		// the compacted L1-miss stream; only the aggregate Stats are
+		// consumed, so the results-free batch path applies to both levels.
+		src := p.Source(o.Scale, o.seed())
+		refBuf := make([]trace.Ref, trace.DefaultBatch)
+		lanes := trace.NewBatchLanes(trace.DefaultBatch)
+		hits := make([]bool, trace.DefaultBatch)
+		l2Addrs := make([]mem.Addr, trace.DefaultBatch)
+		l2Writes := make([]bool, trace.DefaultBatch) // L2 fills are reads
+		l2Nows := make([]uint64, trace.DefaultBatch)
+		l2Hits := make([]bool, trace.DefaultBatch)
+		for {
+			n := src.ReadRefs(refBuf)
+			if n == 0 {
+				break
 			}
-		})
+			lanes.Fill(refBuf[:n])
+			l1.AccessBatchHits(lanes.Addrs[:n], lanes.Writes[:n], lanes.Nows[:n], hits[:n])
+			m := 0
+			for i := 0; i < n; i++ {
+				if !hits[i] {
+					l2Addrs[m] = lanes.Addrs[i]
+					l2Nows[m] = lanes.Nows[i]
+					m++
+				}
+			}
+			l2.AccessBatchHits(l2Addrs[:m], l2Writes[:m], l2Nows[:m], l2Hits[:m])
+		}
 		return missRates{L1: l1.Stats().MissRate(), L2: l2.Stats().MissRate()}, nil
 	}}
 }
@@ -283,46 +305,60 @@ func (o Options) decileCell(p workload.Preset, params core.Params) runner.Task[d
 		main := cache.MustNew(sim.PaperL1D())
 		shadow := cache.MustNew(sim.PaperL1D())
 		geo := main.Geometry()
-		var n, now uint64
+		var n uint64
 		preds := make([]sim.Prediction, 0, 16)
 		var evSlot, fillSlot cache.EvictInfo
-		trace.ForEach(p.Source(o.Scale, o.seed()), func(ref trace.Ref) {
-			now += uint64(ref.Gap) + 1
-			b := n / bucket
-			if b > 9 {
-				b = 9
+		// Batch pump, shaped like covShard.stepBatch: the shadow cache sees
+		// demand references only, so whole batches flow through the
+		// results-free batch path; the main side stays per-reference
+		// because its prefetch fills must interleave with the lookups.
+		src := p.Source(o.Scale, o.seed())
+		refBuf := make([]trace.Ref, trace.DefaultBatch)
+		lanes := trace.NewBatchLanes(trace.DefaultBatch)
+		hits := make([]bool, trace.DefaultBatch)
+		for {
+			nr := src.ReadRefs(refBuf)
+			if nr == 0 {
+				break
 			}
-			n++
-			write := ref.Kind == trace.Store
-			sres := shadow.Access(ref.Addr, write, now)
-			mres := main.Access(ref.Addr, write, now)
-			if !sres.Hit {
-				d.Opp[b]++
-				if mres.Hit {
-					d.Corr[b]++
+			lanes.Fill(refBuf[:nr])
+			shadow.AccessBatchHits(lanes.Addrs[:nr], lanes.Writes[:nr], lanes.Nows[:nr], hits[:nr])
+			for i := 0; i < nr; i++ {
+				ref := refBuf[i]
+				b := n / bucket
+				if b > 9 {
+					b = 9
 				}
-			}
-			var ev *cache.EvictInfo
-			if mres.Evicted.Valid {
-				evSlot = mres.Evicted
-				ev = &evSlot
-			}
-			preds = lt.OnAccess(ref, mres.Hit, ev, preds[:0])
-			for _, pd := range preds {
-				pb := geo.BlockAddr(pd.Addr)
-				if pb == geo.BlockAddr(ref.Addr) || pd.ToL2 {
-					continue
-				}
-				if eo, ins := main.InsertPrefetch(pb, pd.Victim, pd.UseVictim, now); ins {
-					var ep *cache.EvictInfo
-					if eo.Valid {
-						fillSlot = eo
-						ep = &fillSlot
+				n++
+				mres := main.Access(ref.Addr, lanes.Writes[i], lanes.Nows[i])
+				if !hits[i] {
+					d.Opp[b]++
+					if mres.Hit {
+						d.Corr[b]++
 					}
-					lt.OnPrefetchFill(pb, ep)
+				}
+				var ev *cache.EvictInfo
+				if mres.Evicted.Valid {
+					evSlot = mres.Evicted
+					ev = &evSlot
+				}
+				preds = lt.OnAccess(ref, mres.Hit, ev, preds[:0])
+				for _, pd := range preds {
+					pb := geo.BlockAddr(pd.Addr)
+					if pb == geo.BlockAddr(ref.Addr) || pd.ToL2 {
+						continue
+					}
+					if eo, ins := main.InsertPrefetch(pb, pd.Victim, pd.UseVictim, lanes.Nows[i]); ins {
+						var ep *cache.EvictInfo
+						if eo.Valid {
+							fillSlot = eo
+							ep = &fillSlot
+						}
+						lt.OnPrefetchFill(pb, ep)
+					}
 				}
 			}
-		})
+		}
 		return d, nil
 	}}
 }

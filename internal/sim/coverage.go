@@ -142,8 +142,12 @@ type covShard struct {
 	early            EarlyEvictionObserver
 	filler           PrefetchFillObserver
 	// pending[set] records the most recent predicted replacement block for
-	// the set, to distinguish incorrect from train on a miss.
-	pending map[int]mem.Addr
+	// the set, to distinguish incorrect from train on a miss. It is a
+	// dense per-set lane (set counts are small and fixed): the value is
+	// the predicted block with bit 0 set as a presence marker (block
+	// addresses are block-aligned, so bit 0 is free), 0 when no
+	// prediction is outstanding.
+	pending []mem.Addr
 	// predBuf is the prediction scratch the prefetcher appends into;
 	// evSlot/fillSlot are the eviction-info slots whose addresses are
 	// passed to the predictor hooks (hooks must not retain them). All are
@@ -152,6 +156,19 @@ type covShard struct {
 	evSlot, fillSlot cache.EvictInfo
 	now              uint64
 	cov              Coverage
+
+	// Batch scratch, reused across every stepBatch call (zero steady-state
+	// allocation): the address/write/clock lanes handed to the cache
+	// batch entry points, the shadow hit lane (plus full shadow results
+	// when a DeadTimes sink needs eviction details), and the compacted
+	// shadow-L2 miss stream for WithL2 runs.
+	lanes    *trace.BatchLanes
+	bHits    []bool
+	sres     []cache.AccessResult
+	l2Addrs  []mem.Addr
+	l2Writes []bool
+	l2Nows   []uint64
+	l2Hits   []bool
 }
 
 // newCovShard builds one shard's caches and scratch. cfg must already have
@@ -180,43 +197,115 @@ func newCovShard(cfg *CoverageConfig, pf Prefetcher) (*covShard, error) {
 	s.geo = s.main.Geometry()
 	s.early, _ = pf.(EarlyEvictionObserver)
 	s.filler, _ = pf.(PrefetchFillObserver)
-	s.pending = make(map[int]mem.Addr, 1024)
+	// The pending lane steals bit 0 of the block address as its presence
+	// marker (see the field comment), which requires blocks of at least
+	// two bytes; no real cache is sub-word, so reject rather than alias.
+	if s.geo.BlockSize() < 2 {
+		return nil, fmt.Errorf("sim: coverage requires L1 block size >= 2 bytes, got %d", s.geo.BlockSize())
+	}
+	s.pending = make([]mem.Addr, s.geo.Sets())
 	s.predBuf = make([]Prediction, 0, 16)
 	s.cov = Coverage{Predictor: pf.Name()}
+	s.lanes = trace.NewBatchLanes(trace.DefaultBatch)
+	s.grow(trace.DefaultBatch)
 	return s, nil
 }
 
-// step advances the shard by one committed reference, classifying it
-// against the shard's base (shadow) system.
-func (s *covShard) step(ref trace.Ref) {
-	s.now += uint64(ref.Gap) + 1
-	s.cov.Refs++
-	write := ref.Kind == trace.Store
+// grow sizes the batch scratch lanes for batches of up to n references
+// (the address/write/clock lanes grow inside BatchLanes.Fill).
+func (s *covShard) grow(n int) {
+	s.bHits = make([]bool, n)
+	if s.cfg.DeadTimes != nil {
+		s.sres = make([]cache.AccessResult, n)
+	}
+	if s.cfg.WithL2 {
+		s.l2Addrs = make([]mem.Addr, n)
+		s.l2Writes = make([]bool, n)
+		s.l2Nows = make([]uint64, n)
+		s.l2Hits = make([]bool, n)
+	}
+}
+
+// stepBatch advances the shard by a batch of committed references. The
+// base (shadow) hierarchy sees demand references only — nothing the
+// predictor does on the main side can interleave with it — so the whole
+// batch goes through cache.AccessBatch in one pass: the shadow L1 over
+// every reference, then the shadow L2 over the compacted shadow-miss
+// stream. The main side stays per-reference (prefetch fills issued for
+// reference i must land before reference i+1's lookup) but reuses the
+// batch lanes and the already-extracted set/tag, so the shadow+main double
+// lookup shares its index/tag work. Classification is byte-identical to
+// the historical one-reference step.
+func (s *covShard) stepBatch(refs []trace.Ref) {
+	n := len(refs)
+	if n == 0 {
+		return
+	}
+	if n > len(s.bHits) {
+		s.grow(n)
+	}
+	s.lanes.Fill(refs)
+	s.now = s.lanes.Clock()
+	addrs, writes, nows := s.lanes.Addrs, s.lanes.Writes, s.lanes.Nows
+	maxCtx := 0
+	for i := range refs {
+		if c := int(refs[i].Ctx); c > maxCtx {
+			maxCtx = c
+		}
+	}
+	s.cov.Refs += uint64(n)
+	if maxCtx >= len(s.cov.PerCtx) {
+		// Grow to the highest context observed (at most 256 entries, a
+		// handful of growths per run — the per-batch cost is one compare).
+		s.cov.PerCtx = append(s.cov.PerCtx, make([]CtxCoverage, maxCtx+1-len(s.cov.PerCtx))...)
+	}
+
+	if s.cfg.DeadTimes != nil {
+		// The dead-time sink needs the shadow evictions in full.
+		s.shadow.AccessBatch(addrs[:n], writes[:n], nows[:n], s.sres[:n])
+		for i := 0; i < n; i++ {
+			s.bHits[i] = s.sres[i].Hit
+			if s.sres[i].Evicted.Valid {
+				s.cfg.DeadTimes.Add(s.sres[i].Evicted.DeadTime)
+			}
+		}
+	} else {
+		// Common case: only the base hit/miss outcome (and aggregate
+		// Stats) are consumed, so the results-free batch path applies.
+		s.shadow.AccessBatchHits(addrs[:n], writes[:n], nows[:n], s.bHits[:n])
+	}
+	if s.cfg.WithL2 {
+		m := 0
+		for i := 0; i < n; i++ {
+			if !s.bHits[i] {
+				s.l2Addrs[m] = addrs[i]
+				s.l2Writes[m] = writes[i]
+				s.l2Nows[m] = nows[i]
+				m++
+			}
+		}
+		s.shadowL2.AccessBatchHits(s.l2Addrs[:m], s.l2Writes[:m], s.l2Nows[:m], s.l2Hits[:m])
+	}
+
+	for i := range refs {
+		s.stepMain(refs[i], s.bHits[i], writes[i], nows[i])
+	}
+}
+
+// stepMain runs the main (predictor-equipped) side of one reference and
+// classifies it against the already-computed base (shadow) hit outcome.
+func (s *covShard) stepMain(ref trace.Ref, baseHit bool, write bool, now uint64) {
 	block := s.geo.BlockAddr(ref.Addr)
 	set := s.geo.Index(ref.Addr)
 	ctx := int(ref.Ctx)
-	if ctx >= len(s.cov.PerCtx) {
-		// Grow to the highest context observed (at most 256 entries, a
-		// handful of growths per run — the per-reference cost is one
-		// length compare).
-		s.cov.PerCtx = append(s.cov.PerCtx, make([]CtxCoverage, ctx+1-len(s.cov.PerCtx))...)
-	}
 
-	sres := s.shadow.Access(ref.Addr, write, s.now)
-	if s.cfg.DeadTimes != nil && sres.Evicted.Valid {
-		s.cfg.DeadTimes.Add(sres.Evicted.DeadTime)
-	}
-	if s.cfg.WithL2 && !sres.Hit {
-		s.shadowL2.Access(ref.Addr, write, s.now)
-	}
-
-	mres := s.main.Access(ref.Addr, write, s.now)
+	mres := s.main.AccessIndexed(set, s.geo.Tag(ref.Addr), write, now)
 	if s.cfg.WithL2 && !mres.Hit {
-		s.mainL2.Access(ref.Addr, write, s.now)
+		s.mainL2.Access(ref.Addr, write, now)
 	}
 
 	// Classification against the base system.
-	if !sres.Hit {
+	if !baseHit {
 		s.cov.Opportunity++
 		s.cov.PerCtx[ctx].Opportunity++
 		switch {
@@ -224,7 +313,7 @@ func (s *covShard) step(ref trace.Ref) {
 			s.cov.Correct++
 			s.cov.PerCtx[ctx].Correct++
 		default:
-			if want, okp := s.pending[set]; okp && want != block {
+			if want := s.pending[set]; want != 0 && want&^1 != block {
 				s.cov.Incorrect++
 				s.cov.PerCtx[ctx].Incorrect++
 			} else {
@@ -242,7 +331,7 @@ func (s *covShard) step(ref trace.Ref) {
 		}
 	}
 	if !mres.Hit {
-		delete(s.pending, set)
+		s.pending[set] = 0
 	}
 
 	var evicted *cache.EvictInfo
@@ -261,13 +350,13 @@ func (s *covShard) step(ref trace.Ref) {
 			// trace mode; the timing model charges the latency win).
 			if s.cfg.WithL2 {
 				s.cov.Prefetches++
-				s.mainL2.InsertPrefetch(pblock, 0, false, s.now)
+				s.mainL2.InsertPrefetch(pblock, 0, false, now)
 			}
 			continue
 		}
-		if ev, inserted := s.main.InsertPrefetch(pblock, p.Victim, p.UseVictim, s.now); inserted {
+		if ev, inserted := s.main.InsertPrefetch(pblock, p.Victim, p.UseVictim, now); inserted {
 			s.cov.Prefetches++
-			s.pending[s.geo.Index(pblock)] = pblock
+			s.pending[s.geo.Index(pblock)] = pblock | 1
 			if s.filler != nil {
 				var ep *cache.EvictInfo
 				if ev.Valid {
@@ -280,7 +369,7 @@ func (s *covShard) step(ref trace.Ref) {
 				// The prefetch is serviced through the L2; the fill is
 				// a prefetch insert so demand-miss accounting stays
 				// clean.
-				s.mainL2.InsertPrefetch(pblock, 0, false, s.now)
+				s.mainL2.InsertPrefetch(pblock, 0, false, now)
 			}
 		}
 	}
@@ -306,16 +395,16 @@ func RunCoverage(src trace.Source, pf Prefetcher, cfg CoverageConfig) (Coverage,
 	if err != nil {
 		return Coverage{}, err
 	}
-	// Fixed batch buffer reused across the whole run (see DESIGN.md §7).
+	// Fixed batch buffer reused across the whole run (see DESIGN.md §7);
+	// whole batches flow into the shard so the base-system lookups run
+	// through cache.AccessBatch.
 	refBuf := make([]trace.Ref, trace.DefaultBatch)
 	for {
 		nrefs := src.ReadRefs(refBuf)
 		if nrefs == 0 {
 			break
 		}
-		for _, ref := range refBuf[:nrefs] {
-			sh.step(ref)
-		}
+		sh.stepBatch(refBuf[:nrefs])
 	}
 	return sh.finish(), nil
 }

@@ -70,18 +70,30 @@ func RunCoverageSharded(src trace.Source, newPF func(ctx int) Prefetcher, cfg Sh
 		shards[i] = sh
 	}
 
+	// Quantum interleaving yields long runs of one context, so the batch
+	// is segmented into maximal same-Ctx runs and each run flows into its
+	// shard as one stepBatch call: the batched base-system lookups keep
+	// near-full batch width, and references are still dispatched in stream
+	// order (a shared predictor observes the same global order the
+	// monolithic driver would).
 	refBuf := make([]trace.Ref, trace.DefaultBatch)
 	for {
 		nrefs := src.ReadRefs(refBuf)
 		if nrefs == 0 {
 			break
 		}
-		for _, ref := range refBuf[:nrefs] {
-			if int(ref.Ctx) >= cfg.Contexts {
+		for start := 0; start < nrefs; {
+			ctx := refBuf[start].Ctx
+			if int(ctx) >= cfg.Contexts {
 				return ShardedCoverage{}, fmt.Errorf("sim: reference context %d outside the configured %d shards",
-					ref.Ctx, cfg.Contexts)
+					ctx, cfg.Contexts)
 			}
-			shards[ref.Ctx].step(ref)
+			end := start + 1
+			for end < nrefs && refBuf[end].Ctx == ctx {
+				end++
+			}
+			shards[ctx].stepBatch(refBuf[start:end])
+			start = end
 		}
 	}
 

@@ -181,3 +181,13 @@ func TestDeadTimeCollection(t *testing.T) {
 		t.Error("no dead times collected")
 	}
 }
+
+// The pending-prediction lane uses bit 0 of block addresses as its
+// presence marker, so sub-word blocks (where bit 0 is a real address bit)
+// must be rejected at construction rather than silently misclassified.
+func TestCoverageRejectsSubWordBlocks(t *testing.T) {
+	cfg := CoverageConfig{L1: cache.Config{Name: "bit0", Size: 8, BlockSize: 1, Assoc: 2}}
+	if _, err := RunCoverage(trace.NewSliceSource(nil), Null{}, cfg); err == nil {
+		t.Fatal("BlockSize 1 must be rejected (pending lane steals bit 0)")
+	}
+}

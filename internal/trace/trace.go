@@ -422,3 +422,49 @@ func (s *Stats) Observe(r Ref) {
 		s.Deps++
 	}
 }
+
+// BatchLanes are the caller-owned parallel lanes a reference batch splits
+// into before entering the batch cache API (cache.AccessBatch and
+// friends): addresses, write flags, and the per-reference instruction
+// clock. Fill implements the one clock rule every driver shares — the
+// clock advances by Gap+1 per reference (DESIGN.md §7/§9) — so drivers do
+// not each hand-roll the prep loop. The lanes are reused across Fill
+// calls; steady-state batch pumping allocates nothing.
+type BatchLanes struct {
+	Addrs  []mem.Addr
+	Writes []bool
+	Nows   []uint64
+	clock  uint64
+}
+
+// NewBatchLanes sizes lanes for batches of up to n references (they grow
+// if a larger batch arrives).
+func NewBatchLanes(n int) *BatchLanes {
+	return &BatchLanes{
+		Addrs:  make([]mem.Addr, n),
+		Writes: make([]bool, n),
+		Nows:   make([]uint64, n),
+	}
+}
+
+// Fill populates the lanes from refs: Addrs[i]/Writes[i] mirror the
+// reference, and Nows[i] carries the advancing instruction clock. The
+// filled prefixes are Addrs[:len(refs)] etc.
+func (b *BatchLanes) Fill(refs []Ref) {
+	if len(refs) > len(b.Addrs) {
+		b.Addrs = make([]mem.Addr, len(refs))
+		b.Writes = make([]bool, len(refs))
+		b.Nows = make([]uint64, len(refs))
+	}
+	now := b.clock
+	for i, ref := range refs {
+		now += uint64(ref.Gap) + 1
+		b.Nows[i] = now
+		b.Addrs[i] = ref.Addr
+		b.Writes[i] = ref.Kind == Store
+	}
+	b.clock = now
+}
+
+// Clock returns the instruction clock after the most recent Fill.
+func (b *BatchLanes) Clock() uint64 { return b.clock }

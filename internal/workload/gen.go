@@ -28,24 +28,32 @@ func (g Gaps) next(rng *RNG) uint8 {
 }
 
 // refMaker assembles Refs with shared bookkeeping: gap sampling and the
-// every-Nth-access store pattern.
+// every-Nth-access store pattern. The store pattern runs on a lazily armed
+// down-counter instead of a per-reference modulo (this sits in every
+// generator's per-reference path) — the emitted Kind sequence is identical:
+// every storeEvery-th reference is a store.
 type refMaker struct {
 	gaps       Gaps
 	storeEvery int // every Nth reference is a store; 0 disables stores
 	rng        *RNG
-	count      uint64
+	untilStore int // references left until the next store (counts down)
 }
 
 func (m *refMaker) make(pc, addr mem.Addr, dep bool) trace.Ref {
-	m.count++
 	r := trace.Ref{
 		PC:   pc,
 		Addr: addr,
 		Gap:  m.gaps.next(m.rng),
 		Dep:  dep,
 	}
-	if m.storeEvery > 0 && m.count%uint64(m.storeEvery) == 0 {
-		r.Kind = trace.Store
+	if m.storeEvery > 0 {
+		if m.untilStore == 0 {
+			m.untilStore = m.storeEvery
+		}
+		m.untilStore--
+		if m.untilStore == 0 {
+			r.Kind = trace.Store
+		}
 	}
 	return r
 }

@@ -84,13 +84,17 @@ func ArraySweep(c SweepConfig) trace.Source {
 		}
 	}
 	iter, pos, arr := 0, 0, 0
+	// gpos tracks pos%gatherAt incrementally (maintained at every pos
+	// advance below) so the per-reference gather test is a compare, not a
+	// division.
+	gpos := 0
 	return trace.FillFunc(func(buf []trace.Ref) int {
 		for i := range buf {
 			if iter >= c.Iters {
 				return i
 			}
 			elem := pos
-			if perm != nil && gatherAt > 0 && pos%gatherAt == gatherAt-1 {
+			if perm != nil && gatherAt > 0 && gpos == gatherAt-1 {
 				elem = int(perm[pos])
 			}
 			addr := c.Base + mem.Addr(arr)*arrBytes + mem.Addr(elem*c.Stride)
@@ -102,15 +106,21 @@ func ArraySweep(c SweepConfig) trace.Source {
 				if arr == c.Arrays {
 					arr = 0
 					pos++
+					if gpos++; gatherAt > 0 && gpos == gatherAt {
+						gpos = 0
+					}
 					if pos == c.Elems {
-						pos = 0
+						pos, gpos = 0, 0
 						iter++
 					}
 				}
 			} else {
 				pos++
+				if gpos++; gatherAt > 0 && gpos == gatherAt {
+					gpos = 0
+				}
 				if pos == c.Elems {
-					pos = 0
+					pos, gpos = 0, 0
 					arr++
 					if arr == c.Arrays {
 						arr = 0

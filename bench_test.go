@@ -230,6 +230,50 @@ func BenchmarkTimingModel(b *testing.B) {
 	}
 }
 
+// BenchmarkTraceReplay measures materialized-trace replay: ns per
+// reference decoded through a store cursor (the cost every experiment
+// cell pays instead of regeneration). The replay loop is part of the §7
+// zero-alloc pipeline, so allocs/op must report 0.
+func BenchmarkTraceReplay(b *testing.B) {
+	p, _ := workload.ByName("swim")
+	m := trace.Materialize(p.Source(workload.Small, 1))
+	cur := m.Cursor()
+	buf := make([]trace.Ref, trace.DefaultBatch)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for remaining := b.N; remaining > 0; {
+		want := len(buf)
+		if remaining < want {
+			want = remaining
+		}
+		n := cur.ReadRefs(buf[:want])
+		if n == 0 {
+			cur.Reset()
+			continue
+		}
+		remaining -= n
+	}
+}
+
+// BenchmarkExpAll is the wall-time entry for an `ltexp -exp all`-shaped
+// invocation: every registered experiment through one shared scheduler at
+// Small scale on a three-benchmark subset (fig11 and consol always run
+// their own preset pools, so the multi-program materialization fan-out
+// dominates exactly as in the full run). ns/op is the whole run's wall
+// time; allocs track the scheduler + cell machinery and are gated on
+// growth, not on zero.
+func BenchmarkExpAll(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sched := runner.New(0)
+		o := exp.Options{Scale: workload.Small, Benchmarks: []string{"swim", "mcf", "gzip"}, Runner: sched}
+		for _, id := range exp.IDs() {
+			if _, err := exp.Run(id, o); err != nil {
+				b.Fatalf("%s: %v", id, err)
+			}
+		}
+	}
+}
+
 // BenchmarkTraceGen measures raw batch reference generation throughput.
 func BenchmarkTraceGen(b *testing.B) {
 	p, _ := workload.ByName("swim")

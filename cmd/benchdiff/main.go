@@ -1,9 +1,14 @@
 // Command benchdiff compares two `make bench` snapshots (go test -json
 // benchmark output, the BENCH_core.json format) and fails when the new run
-// regresses: ns/op worse than the allowed percentage on any benchmark
-// present in the old snapshot, or any allocs/op above zero. CI runs it to
-// hold the perf trajectory (DESIGN.md §7: the three core benchmarks must
-// stay at 0 allocs/op, and PRs must not silently slow the hot paths).
+// regresses. CI runs it to hold the perf trajectory (DESIGN.md §7): on any
+// benchmark present in the old snapshot,
+//
+//   - ns/op may not be worse than the allowed percentage;
+//   - a zero-alloc benchmark (0 allocs/op in the old snapshot) must stay
+//     at 0 allocs/op, and its B/op — the amortized setup bytes — may only
+//     go down;
+//   - an allocating benchmark (the whole-run wall-time entries) may not
+//     grow its allocs/op or B/op beyond the same allowed percentage.
 //
 // Usage:
 //
@@ -24,7 +29,8 @@ import (
 // result is one parsed benchmark line.
 type result struct {
 	NsPerOp     float64
-	AllocsPerOp int64
+	BytesPerOp  int64 // -1 when the line carried no B/op column
+	AllocsPerOp int64 // -1 when the line carried no allocs/op column
 }
 
 // event is the subset of the go test -json record benchdiff consumes.
@@ -38,10 +44,12 @@ type event struct {
 // benchmark's measurement line carries the owning Test name and an Output
 // like " 4643974\t  305.4 ns/op\t  8 B/op\t  0 allocs/op". With -count>1
 // the same benchmark appears several times; the best (minimum) ns/op and
-// the worst (maximum) allocs/op are kept — best-of-N damps scheduler and
-// noisy-neighbor variance on shared runners without masking regressions
-// (a real slowdown shifts the minimum too), while any single iteration
-// that allocates still fails the zero-alloc gate.
+// B/op and the worst (maximum) allocs/op are kept — best-of-N damps
+// scheduler and noisy-neighbor variance on shared runners without masking
+// regressions (a real slowdown shifts the minimum too, and B/op noise is
+// inversely proportional to the iteration count the scheduler allowed),
+// while any single iteration that allocates still fails the zero-alloc
+// gate.
 func parseFile(path string) (map[string]result, error) {
 	f, err := os.Open(path)
 	if err != nil {
@@ -64,12 +72,16 @@ func parseFile(path string) (map[string]result, error) {
 			continue
 		}
 		fields := strings.Fields(ev.Output)
-		r := result{AllocsPerOp: -1}
+		r := result{BytesPerOp: -1, AllocsPerOp: -1}
 		for i := 1; i < len(fields); i++ {
 			switch fields[i] {
 			case "ns/op":
 				if r.NsPerOp, err = strconv.ParseFloat(fields[i-1], 64); err != nil {
 					return nil, fmt.Errorf("%s: %s: bad ns/op %q", path, ev.Test, fields[i-1])
+				}
+			case "B/op":
+				if r.BytesPerOp, err = strconv.ParseInt(fields[i-1], 10, 64); err != nil {
+					return nil, fmt.Errorf("%s: %s: bad B/op %q", path, ev.Test, fields[i-1])
 				}
 			case "allocs/op":
 				if r.AllocsPerOp, err = strconv.ParseInt(fields[i-1], 10, 64); err != nil {
@@ -84,6 +96,9 @@ func parseFile(path string) (map[string]result, error) {
 			if prev.NsPerOp < r.NsPerOp {
 				r.NsPerOp = prev.NsPerOp
 			}
+			if r.BytesPerOp < 0 || (prev.BytesPerOp >= 0 && prev.BytesPerOp < r.BytesPerOp) {
+				r.BytesPerOp = prev.BytesPerOp
+			}
 			if prev.AllocsPerOp > r.AllocsPerOp {
 				r.AllocsPerOp = prev.AllocsPerOp
 			}
@@ -97,10 +112,43 @@ func main() {
 	os.Exit(run())
 }
 
+// check applies the regression policy to one benchmark, returning the
+// violations (empty = pass).
+func check(o, n result, maxRegress float64) []string {
+	var fails []string
+	if delta := (n.NsPerOp - o.NsPerOp) / o.NsPerOp * 100; delta > maxRegress {
+		fails = append(fails, fmt.Sprintf("ns/op +%.1f%%", delta))
+	}
+	if o.AllocsPerOp == 0 {
+		// A pinned zero-alloc benchmark: stays zero-alloc, and its
+		// amortized setup bytes may only go down.
+		if n.AllocsPerOp != 0 {
+			fails = append(fails, fmt.Sprintf("allocs/op %d, want 0", n.AllocsPerOp))
+		}
+		if o.BytesPerOp >= 0 && n.BytesPerOp > o.BytesPerOp {
+			fails = append(fails, fmt.Sprintf("B/op %d -> %d, pinned to only go down", o.BytesPerOp, n.BytesPerOp))
+		}
+		return fails
+	}
+	// An allocating benchmark: allocs and bytes track the same regression
+	// budget as time.
+	if o.AllocsPerOp > 0 {
+		if delta := float64(n.AllocsPerOp-o.AllocsPerOp) / float64(o.AllocsPerOp) * 100; delta > maxRegress {
+			fails = append(fails, fmt.Sprintf("allocs/op +%.1f%%", delta))
+		}
+	}
+	if o.BytesPerOp > 0 {
+		if delta := float64(n.BytesPerOp-o.BytesPerOp) / float64(o.BytesPerOp) * 100; delta > maxRegress {
+			fails = append(fails, fmt.Sprintf("B/op +%.1f%%", delta))
+		}
+	}
+	return fails
+}
+
 func run() int {
 	oldPath := flag.String("old", "BENCH_core.json", "committed benchmark snapshot")
 	newPath := flag.String("new", "", "freshly measured snapshot to check")
-	maxRegress := flag.Float64("max-regress", 10, "allowed ns/op regression in percent")
+	maxRegress := flag.Float64("max-regress", 10, "allowed ns/op (and, for allocating benchmarks, B/op and allocs/op) regression in percent")
 	flag.Parse()
 	if *newPath == "" {
 		fmt.Fprintln(os.Stderr, "benchdiff: -new is required")
@@ -128,21 +176,22 @@ func run() int {
 			failed = true
 			continue
 		}
-		delta := (n.NsPerOp - o.res.NsPerOp) / o.res.NsPerOp * 100
+		fails := check(o.res, n, *maxRegress)
 		status := "ok  "
-		switch {
-		case n.AllocsPerOp != 0:
-			status = "FAIL"
-			failed = true
-		case delta > *maxRegress:
+		if len(fails) > 0 {
 			status = "FAIL"
 			failed = true
 		}
-		fmt.Printf("%s %-24s %10.2f -> %10.2f ns/op (%+6.1f%%)  %d allocs/op\n",
-			status, o.name, o.res.NsPerOp, n.NsPerOp, delta, n.AllocsPerOp)
+		delta := (n.NsPerOp - o.res.NsPerOp) / o.res.NsPerOp * 100
+		fmt.Printf("%s %-24s %12.2f -> %12.2f ns/op (%+6.1f%%)  %d B/op  %d allocs/op",
+			status, o.name, o.res.NsPerOp, n.NsPerOp, delta, n.BytesPerOp, n.AllocsPerOp)
+		if len(fails) > 0 {
+			fmt.Printf("  [%s]", strings.Join(fails, "; "))
+		}
+		fmt.Println()
 	}
 	if failed {
-		fmt.Printf("benchdiff: regression beyond %.0f%% ns/op or allocs/op > 0\n", *maxRegress)
+		fmt.Printf("benchdiff: regression beyond %.0f%% ns/op, allocs/op gate, or B/op growth\n", *maxRegress)
 		return 1
 	}
 	return 0

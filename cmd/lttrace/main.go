@@ -1,11 +1,19 @@
 // Command lttrace generates, inspects and converts binary reference traces
-// (the LTCT format of internal/trace).
+// (the LTCT stream format and the indexed LTCX store format of
+// internal/trace).
 //
 // Usage:
 //
-//	lttrace -bench mcf -scale small -out mcf.ltct   # generate
-//	lttrace -in mcf.ltct -stats                     # summarize
-//	lttrace -in mcf.ltct -head 20                   # dump first records
+//	lttrace -bench mcf -scale small -out mcf.ltct           # generate (stream)
+//	lttrace -bench mcf -record -out mcf.ltcx                # generate (indexed store)
+//	lttrace -in mcf.ltct -stats                             # summarize a stream
+//	lttrace -in mcf.ltcx -replay -stats                     # mmap + replay a store
+//	lttrace -in mcf.ltct -head 20                           # dump first records
+//
+// A recorded store carries the chunk index in its file header (each chunk
+// a delta-reset point), so -replay maps the file and streams it through a
+// zero-alloc cursor at decode bandwidth — multi-GB traces replay without
+// heap churn.
 package main
 
 import (
@@ -24,13 +32,16 @@ func fail(err error) {
 
 func main() {
 	var (
-		bench = flag.String("bench", "", "benchmark preset to generate")
-		scale = flag.String("scale", "small", "workload scale")
-		seed  = flag.Uint64("seed", 1, "workload seed")
-		out   = flag.String("out", "", "output trace file")
-		in    = flag.String("in", "", "input trace file")
-		stats = flag.Bool("stats", false, "print stream statistics")
-		head  = flag.Int("head", 0, "dump the first N records")
+		bench  = flag.String("bench", "", "benchmark preset to generate")
+		scale  = flag.String("scale", "small", "workload scale")
+		seed   = flag.Uint64("seed", 1, "workload seed")
+		out    = flag.String("out", "", "output trace file")
+		in     = flag.String("in", "", "input trace file")
+		stats  = flag.Bool("stats", false, "print stream statistics")
+		head   = flag.Int("head", 0, "dump the first N records")
+		record = flag.Bool("record", false, "write the indexed store format (LTCX) instead of the record stream")
+		replay = flag.Bool("replay", false, "treat -in as an indexed store: mmap it and replay through a cursor")
+		chunk  = flag.Int("chunk", 0, "refs per chunk when recording (0 = default)")
 	)
 	flag.Parse()
 
@@ -44,6 +55,21 @@ func main() {
 		if err != nil {
 			fail(err)
 		}
+		src := p.Source(sc, *seed)
+		if *record {
+			m := trace.MaterializeChunked(src, *chunk)
+			if err := m.WriteFile(*out); err != nil {
+				fail(err)
+			}
+			fi, err := os.Stat(*out)
+			if err != nil {
+				fail(err)
+			}
+			fmt.Printf("recorded %d refs to %s (%d bytes, %.2f bytes/ref, %d chunks x %d refs)\n",
+				m.Refs(), *out, fi.Size(), float64(m.Bytes())/float64(max(m.Refs(), 1)),
+				m.Chunks(), m.RefsPerChunk())
+			return
+		}
 		f, err := os.Create(*out)
 		if err != nil {
 			fail(err)
@@ -53,7 +79,6 @@ func main() {
 		if err != nil {
 			fail(err)
 		}
-		src := p.Source(sc, *seed)
 		buf := make([]trace.Ref, trace.DefaultBatch)
 		for {
 			n := src.ReadRefs(buf)
@@ -72,18 +97,36 @@ func main() {
 			w.Count(), *out, fi.Size(), float64(fi.Size())/float64(w.Count()))
 
 	case *in != "":
-		f, err := os.Open(*in)
-		if err != nil {
-			fail(err)
-		}
-		defer f.Close()
-		r, err := trace.NewReader(f)
-		if err != nil {
-			fail(err)
+		var (
+			src     trace.Source
+			errFn   func() error
+			cleanup func()
+		)
+		if *replay {
+			m, err := trace.OpenStore(*in)
+			if err != nil {
+				fail(err)
+			}
+			fmt.Printf("store: %d refs, %d chunks x %d refs, %d data bytes, mapped=%v\n",
+				m.Refs(), m.Chunks(), m.RefsPerChunk(), m.Bytes(), m.Mapped())
+			c := m.Cursor()
+			src, errFn = c, c.Err
+			cleanup = func() { m.Close() }
+		} else {
+			f, err := os.Open(*in)
+			if err != nil {
+				fail(err)
+			}
+			defer f.Close()
+			r, err := trace.NewReader(f)
+			if err != nil {
+				fail(err)
+			}
+			src, errFn = r, r.Err
 		}
 		var st trace.Stats
 		n := 0
-		trace.ForEach(r, func(ref trace.Ref) {
+		trace.ForEach(src, func(ref trace.Ref) {
 			st.Observe(ref)
 			if *head > 0 && n < *head {
 				fmt.Printf("%8d pc=%#x addr=%#x %s gap=%d dep=%v ctx=%d\n",
@@ -91,8 +134,11 @@ func main() {
 			}
 			n++
 		})
-		if err := r.Err(); err != nil {
+		if err := errFn(); err != nil {
 			fail(err)
+		}
+		if cleanup != nil {
+			cleanup()
 		}
 		if *stats || *head == 0 {
 			fmt.Printf("refs=%d loads=%d stores=%d instrs=%d deps=%d\n",
@@ -100,7 +146,7 @@ func main() {
 		}
 
 	default:
-		fmt.Fprintln(os.Stderr, "lttrace: need either -bench+-out (generate) or -in (inspect)")
+		fmt.Fprintln(os.Stderr, "lttrace: need either -bench+-out (generate; -record for the indexed store) or -in (inspect; -replay for stores)")
 		os.Exit(2)
 	}
 }

@@ -187,6 +187,12 @@ type Engine struct {
 	issueCarry int // instructions not yet converted to cycles
 
 	rob ring[inflightOp] // FIFO of in-flight memory ops (instruction order)
+	// missDones mirrors the completion times of the ROB's miss subsequence
+	// (misses enter and leave the ROB in FIFO order, so the mirror only
+	// pushes with rob.push and pops with rob.pop): the MSHR gate scans
+	// outstanding misses on every reference, and walking this ring visits
+	// exactly the candidates instead of the whole in-flight window.
+	missDones ring[uint64]
 
 	lastLoadDone uint64
 
@@ -296,7 +302,7 @@ func (e *Engine) retire(instr uint64) {
 	for e.rob.len() > 0 {
 		head := *e.rob.at(0)
 		if head.done <= e.cycle {
-			e.rob.pop()
+			e.popHead(head)
 			continue
 		}
 		// Window constraints: the head blocks retirement. If the new
@@ -304,10 +310,19 @@ func (e *Engine) retire(instr uint64) {
 		// LSQ (memory ops in flight), stall until the head completes.
 		if instr-head.instr >= uint64(e.p.ROB) || e.rob.len() >= e.p.LSQ {
 			e.cycle = head.done
-			e.rob.pop()
+			e.popHead(head)
 			continue
 		}
 		break
+	}
+}
+
+// popHead removes the ROB head (already read as head), keeping the
+// miss-done mirror in lockstep.
+func (e *Engine) popHead(head inflightOp) {
+	e.rob.pop()
+	if head.isMiss {
+		e.missDones.pop()
 	}
 }
 
@@ -316,11 +331,15 @@ func (e *Engine) retire(instr uint64) {
 // issue once enough of them complete that a register frees (the
 // (k-MSHRs+1)-th completion).
 func (e *Engine) mshrGate(at uint64) uint64 {
+	if e.missDones.len() < e.p.MSHRs {
+		// Fewer misses in flight than registers even before the done>at
+		// filter: the gate cannot bind.
+		return at
+	}
 	dones := e.mshrScratch[:0]
-	for i := 0; i < e.rob.len(); i++ {
-		op := e.rob.at(i)
-		if op.isMiss && op.done > at {
-			dones = append(dones, op.done)
+	for i := 0; i < e.missDones.len(); i++ {
+		if d := *e.missDones.at(i); d > at {
+			dones = append(dones, d)
 		}
 	}
 	e.mshrScratch = dones
@@ -568,6 +587,9 @@ func (e *Engine) step(ref trace.Ref, i int, pf sim.Prefetcher, filler sim.Prefet
 	// Stores commit without blocking (write buffer), but their fills
 	// occupy the machine like loads.
 	e.rob.push(inflightOp{instr: e.instrs, done: done, isMiss: l1miss})
+	if l1miss {
+		e.missDones.push(done)
+	}
 
 	// Predictor hooks (committed-access observation).
 	var evp *cache.EvictInfo

@@ -60,12 +60,132 @@ func ScaledParams() Params {
 	return p
 }
 
-type entry struct {
-	valid bool
-	conf  uint8
-	sig   history.Signature
-	lru   uint64
-	repl  mem.Addr
+// lanes is the correlation-entry storage both table variants share,
+// structure-of-arrays like the cache tag store and LT-cords' signature
+// cache (DESIGN.md §9): the probe loop touches only the sig lane (4
+// bytes/entry) plus the packed meta byte, where the previous
+// array-of-structs layout dragged the lru and repl lanes through the
+// cache on every probe — at Figure 4's table sizes (up to millions of
+// entries) that tripled the probe working set and dominated the
+// coverage profile. The lru lane is read only on victim scans, the repl
+// lane only on a signature match.
+type lanes struct {
+	sigs []history.Signature
+	meta []uint8 // bit 7 valid, low bits the 2-bit confidence
+	lru  []uint64
+	repl []mem.Addr
+}
+
+const laneValid = 0x80
+
+func makeLanes(n int) lanes {
+	return lanes{
+		sigs: make([]history.Signature, n),
+		meta: make([]uint8, n),
+		lru:  make([]uint64, n),
+		repl: make([]mem.Addr, n),
+	}
+}
+
+func (l *lanes) conf(i int) uint8 { return l.meta[i] &^ laneValid }
+
+func (l *lanes) setConf(i int, c uint8) { l.meta[i] = laneValid | c }
+
+// predMap maps predicted-victim block addresses to the signature that
+// predicted them (the early-eviction feedback bookkeeping). It is an
+// exact drop-in for the built-in map it replaces — same key→value
+// mapping, same live count for the reset bound — as an open-addressing
+// table with linear probing, the same idiom (including Knuth 6.4
+// algorithm R deletion, so no tombstones accumulate) as core's
+// predTable: the map assign per prediction showed in the coverage
+// profile. Slots are twice the 64K reset bound, keeping the load factor
+// at most ~0.5.
+type predMap struct {
+	keys  []mem.Addr
+	vals  []history.Signature
+	state []uint8 // 0 empty, 1 live
+	n     int
+}
+
+const predMapSlots = 1 << 17
+
+func newPredMap() *predMap {
+	return &predMap{
+		keys:  make([]mem.Addr, predMapSlots),
+		vals:  make([]history.Signature, predMapSlots),
+		state: make([]uint8, predMapSlots),
+	}
+}
+
+func (t *predMap) home(block mem.Addr) uint32 {
+	return uint32((uint64(block)*0x9E3779B97F4A7C15)>>32) & (predMapSlots - 1)
+}
+
+func (t *predMap) get(block mem.Addr) (history.Signature, bool) {
+	i := t.home(block)
+	for t.state[i] != 0 {
+		if t.keys[i] == block {
+			return t.vals[i], true
+		}
+		i = (i + 1) & (predMapSlots - 1)
+	}
+	return 0, false
+}
+
+func (t *predMap) put(block mem.Addr, sig history.Signature) {
+	i := t.home(block)
+	for t.state[i] != 0 {
+		if t.keys[i] == block {
+			t.vals[i] = sig
+			return
+		}
+		i = (i + 1) & (predMapSlots - 1)
+	}
+	t.keys[i] = block
+	t.vals[i] = sig
+	t.state[i] = 1
+	t.n++
+}
+
+func (t *predMap) del(block mem.Addr) {
+	const mask = predMapSlots - 1
+	i := t.home(block)
+	for {
+		if t.state[i] == 0 {
+			return
+		}
+		if t.keys[i] == block {
+			break
+		}
+		i = (i + 1) & mask
+	}
+	t.state[i] = 0
+	t.n--
+	// Re-settle the cluster following the hole: every entry between the
+	// hole and the next empty slot moves back into the hole unless its
+	// home position lies cyclically within (hole, entry].
+	j := i
+	for {
+		j = (j + 1) & mask
+		if t.state[j] == 0 {
+			return
+		}
+		h := t.home(t.keys[j])
+		if (j > i && (h <= i || h > j)) || (j < i && h <= i && h > j) {
+			t.keys[i] = t.keys[j]
+			t.vals[i] = t.vals[j]
+			t.state[i] = 1
+			t.state[j] = 0
+			i = j
+		}
+	}
+}
+
+// reset empties the table (stale keys/vals behind cleared state bytes
+// are unreachable).
+func (t *predMap) reset() {
+	clear(t.state)
+	t.n = 0
 }
 
 // Stats counts DBCP events.
@@ -83,16 +203,24 @@ type Predictor struct {
 	geo  mem.Geometry
 	hist *history.Table
 
-	// Unlimited variant.
-	table map[history.Signature]*entry
+	tab lanes
+
+	// Unlimited variant: open addressing with linear probing, growing at
+	// 3/4 load — the exact-map replacement idiom of core's predTable (the
+	// general-purpose map's hashing and per-entry pointer chase dominated
+	// the oracle cells' profile). The oracle table is footprint-
+	// proportional by design; that is Figure 4's point.
+	unlimited bool
+	mask      uint32
+	live      int
 
 	// Finite variant: set-associative, LRU.
-	sets    []entry
 	setMask uint32
 	assoc   int
-	clock   uint64
 
-	lastPred map[mem.Addr]history.Signature
+	clock uint64
+
+	lastPred *predMap
 	stats    Stats
 }
 
@@ -116,10 +244,13 @@ func New(l1 cache.Config, p Params) (*Predictor, error) {
 		p:        p,
 		geo:      geo,
 		hist:     history.New(l1.Sets(), l1.Assoc),
-		lastPred: make(map[mem.Addr]history.Signature, 1024),
+		lastPred: newPredMap(),
 	}
 	if p.TableBytes == 0 {
-		pr.table = make(map[history.Signature]*entry, 1<<16)
+		const initSlots = 1 << 16
+		pr.unlimited = true
+		pr.tab = makeLanes(initSlots)
+		pr.mask = initSlots - 1
 		return pr, nil
 	}
 	if p.Assoc < 1 {
@@ -131,7 +262,7 @@ func New(l1 cache.Config, p Params) (*Predictor, error) {
 	for sets*2*p.Assoc <= entries {
 		sets *= 2
 	}
-	pr.sets = make([]entry, sets*p.Assoc)
+	pr.tab = makeLanes(sets * p.Assoc)
 	pr.setMask = uint32(sets - 1)
 	pr.assoc = p.Assoc
 	return pr, nil
@@ -158,21 +289,104 @@ func (pr *Predictor) Name() string {
 func (pr *Predictor) Stats() Stats { return pr.stats }
 
 // Entries reports the table capacity in entries (0 = unlimited).
-func (pr *Predictor) Entries() int { return len(pr.sets) }
+func (pr *Predictor) Entries() int {
+	if pr.unlimited {
+		return 0
+	}
+	return len(pr.tab.sigs)
+}
 
-// lookup finds the correlation entry for sig, or nil.
-func (pr *Predictor) lookup(sig history.Signature) *entry {
-	if pr.table != nil {
-		return pr.table[sig]
+// home spreads the 32-bit signature with the golden-ratio multiplier,
+// keeping the well-mixed upper product bits (as core's predTable does) —
+// signatures are already hashes, but their raw low bits cluster.
+func (pr *Predictor) home(sig history.Signature) uint32 {
+	return uint32((uint64(sig)*0x9E3779B97F4A7C15)>>32) & pr.mask
+}
+
+// find returns the live entry index for sig, or -1. The index is valid
+// until the next insert (unlimited-table growth rehashes), matching how
+// the predictor mutates conf/lru immediately after lookup.
+func (pr *Predictor) find(sig history.Signature) int {
+	t := &pr.tab
+	if pr.unlimited {
+		i := pr.home(sig)
+		for t.meta[i] != 0 {
+			if t.sigs[i] == sig {
+				return int(i)
+			}
+			i = (i + 1) & pr.mask
+		}
+		return -1
 	}
 	base := int(uint32(sig)&pr.setMask) * pr.assoc
-	set := pr.sets[base : base+pr.assoc]
-	for i := range set {
-		if set[i].valid && set[i].sig == sig {
-			return &set[i]
+	for i := base; i < base+pr.assoc; i++ {
+		if t.meta[i] != 0 && t.sigs[i] == sig {
+			return i
 		}
 	}
-	return nil
+	return -1
+}
+
+// place writes a fresh entry at slot i.
+func (pr *Predictor) place(i int, sig history.Signature, repl mem.Addr, conf uint8) {
+	pr.tab.sigs[i] = sig
+	pr.tab.setConf(i, conf)
+	pr.tab.lru[i] = pr.tick()
+	pr.tab.repl[i] = repl
+}
+
+// insertNew adds an entry for a signature find reported absent: open
+// addressing for the unlimited table (grow at 3/4 load so probe chains
+// stay short), LRU victim replacement within the set for the finite one.
+func (pr *Predictor) insertNew(sig history.Signature, repl mem.Addr) {
+	t := &pr.tab
+	if pr.unlimited {
+		if uint32(pr.live) >= pr.mask/4*3 {
+			pr.grow()
+		}
+		i := pr.home(sig)
+		for t.meta[i] != 0 {
+			i = (i + 1) & pr.mask
+		}
+		pr.place(int(i), sig, repl, pr.p.ConfInit)
+		pr.live++
+		return
+	}
+	base := int(uint32(sig)&pr.setMask) * pr.assoc
+	victim, oldest := base, uint64(1)<<63
+	for i := base; i < base+pr.assoc; i++ {
+		if t.meta[i] == 0 {
+			victim = i
+			break
+		}
+		if t.lru[i] < oldest {
+			victim, oldest = i, t.lru[i]
+		}
+	}
+	if t.meta[victim] != 0 {
+		pr.stats.Evictions++
+	}
+	pr.place(victim, sig, repl, pr.p.ConfInit)
+}
+
+// grow doubles the unlimited table and rehashes the live entries.
+func (pr *Predictor) grow() {
+	old := pr.tab
+	pr.tab = makeLanes(2 * len(old.sigs))
+	pr.mask = uint32(len(pr.tab.sigs) - 1)
+	for i := range old.sigs {
+		if old.meta[i] == 0 {
+			continue
+		}
+		j := pr.home(old.sigs[i])
+		for pr.tab.meta[j] != 0 {
+			j = (j + 1) & pr.mask
+		}
+		pr.tab.sigs[j] = old.sigs[i]
+		pr.tab.meta[j] = old.meta[i]
+		pr.tab.lru[j] = old.lru[i]
+		pr.tab.repl[j] = old.repl[i]
+	}
 }
 
 // upsert records (sig -> repl), updating confidence like the 2-bit scheme:
@@ -180,41 +394,22 @@ func (pr *Predictor) lookup(sig history.Signature) *entry {
 // counter empties.
 func (pr *Predictor) upsert(sig history.Signature, repl mem.Addr) {
 	pr.stats.Recorded++
-	if e := pr.lookup(sig); e != nil {
-		if e.repl == repl {
-			if e.conf < pr.p.ConfMax {
-				e.conf++
+	if i := pr.find(sig); i >= 0 {
+		t := &pr.tab
+		if t.repl[i] == repl {
+			if c := t.conf(i); c < pr.p.ConfMax {
+				t.setConf(i, c+1)
 			}
-		} else if e.conf > 0 {
-			e.conf--
+		} else if c := t.conf(i); c > 0 {
+			t.setConf(i, c-1)
 		} else {
-			e.repl = repl
-			e.conf = pr.p.ConfInit
+			t.repl[i] = repl
+			t.setConf(i, pr.p.ConfInit)
 		}
-		e.lru = pr.tick()
+		t.lru[i] = pr.tick()
 		return
 	}
-	ne := entry{valid: true, sig: sig, repl: repl, conf: pr.p.ConfInit, lru: pr.tick()}
-	if pr.table != nil {
-		pr.table[sig] = &ne
-		return
-	}
-	base := int(uint32(sig)&pr.setMask) * pr.assoc
-	set := pr.sets[base : base+pr.assoc]
-	victim, oldest := 0, uint64(1<<63)
-	for i := range set {
-		if !set[i].valid {
-			victim = i
-			break
-		}
-		if set[i].lru < oldest {
-			victim, oldest = i, set[i].lru
-		}
-	}
-	if set[victim].valid {
-		pr.stats.Evictions++
-	}
-	set[victim] = ne
+	pr.insertNew(sig, repl)
 }
 
 func (pr *Predictor) tick() uint64 {
@@ -240,16 +435,16 @@ func (pr *Predictor) OnAccess(ref trace.Ref, hit bool, evicted *cache.EvictInfo,
 		pr.upsert(evictSig, curBlock)
 	}
 
-	if e := pr.lookup(cur); e != nil {
+	if i := pr.find(cur); i >= 0 {
 		pr.stats.TableHits++
-		e.lru = pr.tick()
-		if e.conf >= pr.p.ConfThresh && e.repl != curBlock {
-			preds = append(preds, sim.Prediction{Addr: e.repl, Victim: curBlock, UseVictim: true})
+		pr.tab.lru[i] = pr.tick()
+		if pr.tab.conf(i) >= pr.p.ConfThresh && pr.tab.repl[i] != curBlock {
+			preds = append(preds, sim.Prediction{Addr: pr.tab.repl[i], Victim: curBlock, UseVictim: true})
 			pr.stats.Predictions++
-			if len(pr.lastPred) > 1<<16 {
-				pr.lastPred = make(map[mem.Addr]history.Signature, 1024)
+			if pr.lastPred.n > 1<<16 {
+				pr.lastPred.reset()
 			}
-			pr.lastPred[curBlock] = cur
+			pr.lastPred.put(curBlock, cur)
 		}
 	}
 	return preds
@@ -273,8 +468,8 @@ func (pr *Predictor) OnPrefetchFill(block mem.Addr, evicted *cache.EvictInfo) {
 	if !ok {
 		return
 	}
-	if e := pr.lookup(sig); e != nil {
-		e.lru = pr.tick()
+	if i := pr.find(sig); i >= 0 {
+		pr.tab.lru[i] = pr.tick()
 		return
 	}
 	pr.upsert(sig, block)
@@ -284,25 +479,25 @@ func (pr *Predictor) OnPrefetchFill(block mem.Addr, evicted *cache.EvictInfo) {
 // evicted a live block; the signature's confidence resets and must be
 // re-earned through demand verification.
 func (pr *Predictor) OnEarlyEviction(block mem.Addr) {
-	sig, ok := pr.lastPred[block]
+	sig, ok := pr.lastPred.get(block)
 	if !ok {
 		return
 	}
-	delete(pr.lastPred, block)
-	if e := pr.lookup(sig); e != nil {
-		e.conf = 0
+	pr.lastPred.del(block)
+	if i := pr.find(sig); i >= 0 {
+		pr.tab.setConf(i, 0)
 	}
 }
 
 // TableEntries returns the number of live entries (unlimited variant) or
 // valid entries (finite variant); used by the storage experiments.
 func (pr *Predictor) TableEntries() int {
-	if pr.table != nil {
-		return len(pr.table)
+	if pr.unlimited {
+		return pr.live
 	}
 	n := 0
-	for i := range pr.sets {
-		if pr.sets[i].valid {
+	for _, m := range pr.tab.meta {
+		if m != 0 {
 			n++
 		}
 	}

@@ -99,24 +99,33 @@ func TestMonotoneInTableSize(t *testing.T) {
 func TestUpsertConfidence(t *testing.T) {
 	pr := MustNew(sim.PaperL1D(), UnlimitedParams())
 	sig := history.Signature(42)
+	// state re-finds the entry after every mutation: lane indices are
+	// stable between inserts but not across growth, so tests read through
+	// find like the predictor itself does.
+	state := func() (conf uint8, repl mem.Addr) {
+		i := pr.find(sig)
+		if i < 0 {
+			t.Fatalf("signature %d missing", sig)
+		}
+		return pr.tab.conf(i), pr.tab.repl[i]
+	}
 	pr.upsert(sig, 0x1000)
-	e := pr.lookup(sig)
-	if e == nil || e.conf != 2 || e.repl != 0x1000 {
-		t.Fatalf("initial entry = %+v", e)
+	if c, r := state(); c != 2 || r != 0x1000 {
+		t.Fatalf("initial entry = conf %d repl %#x", c, r)
 	}
 	pr.upsert(sig, 0x1000) // confirm: conf 3
-	if e.conf != 3 {
-		t.Errorf("conf after confirm = %d", e.conf)
+	if c, _ := state(); c != 3 {
+		t.Errorf("conf after confirm = %d", c)
 	}
 	pr.upsert(sig, 0x2000) // mismatch: conf 2
 	pr.upsert(sig, 0x2000) // mismatch: conf 1
 	pr.upsert(sig, 0x2000) // mismatch: conf 0
-	if e.conf != 0 || e.repl != 0x1000 {
-		t.Errorf("after mismatches: conf=%d repl=%#x", e.conf, e.repl)
+	if c, r := state(); c != 0 || r != 0x1000 {
+		t.Errorf("after mismatches: conf=%d repl=%#x", c, r)
 	}
 	pr.upsert(sig, 0x2000) // conf 0: replace target
-	if e.repl != 0x2000 || e.conf != 2 {
-		t.Errorf("replacement failed: %+v", e)
+	if c, r := state(); r != 0x2000 || c != 2 {
+		t.Errorf("replacement failed: conf %d repl %#x", c, r)
 	}
 }
 
@@ -124,10 +133,10 @@ func TestEarlyEvictionFeedback(t *testing.T) {
 	pr := MustNew(sim.PaperL1D(), UnlimitedParams())
 	sig := history.Signature(7)
 	pr.upsert(sig, 0x4000)
-	pr.lastPred[0x8000] = sig
+	pr.lastPred.put(0x8000, sig)
 	pr.OnEarlyEviction(0x8000)
-	if e := pr.lookup(sig); e.conf != 0 {
-		t.Errorf("conf after early eviction = %d want 0 (reset)", e.conf)
+	if i := pr.find(sig); i < 0 || pr.tab.conf(i) != 0 {
+		t.Errorf("conf after early eviction: want 0 (reset)")
 	}
 	pr.OnEarlyEviction(0xBEEF00) // unknown: no-op
 }

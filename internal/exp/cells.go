@@ -26,6 +26,13 @@ import (
 // (fig6/fig7), the oracle-DBCP coverage runs (fig4/fig8), the default
 // LT-cords coverage runs (fig8/fig11/ablations) — are simulated once per
 // scheduler and served from the cache afterwards.
+//
+// Workload generation is deduped one level below the cells: every cell
+// pulls its reference stream from the per-scheduler materialization
+// cache (the nested "mat" cells, see Options.materialized), so each
+// (preset, scale, seed) stream is generated once per scheduler and every
+// analysis replays it through an independent trace.Materialized cursor
+// at decode bandwidth (DESIGN.md §10).
 
 // fp renders a parameter struct into a canonical fingerprint. Parameter
 // structs must contain only scalar fields (no pointers, maps or slices).
@@ -34,6 +41,53 @@ func fp(v any) string { return fmt.Sprintf("%+v", v) }
 // cellKey fingerprints the workload inputs common to every cell.
 func (o Options) cellKey(p workload.Preset) string {
 	return fmt.Sprintf("%s|scale%d|seed%d", p.Name, o.Scale, o.seed())
+}
+
+// materialized resolves the preset's materialized trace through the
+// scheduler: per scheduler, each (preset, scale, seed) stream is
+// generated and encoded exactly once — the "mat" cell — and every
+// consumer replays it through its own cursor. Consolidation components
+// pass their effective seed (seed+7i), so a partner program shared by
+// several mixes is also generated once.
+func (o Options) materialized(s *runner.Scheduler, p workload.Preset, seed uint64) (*trace.Materialized, error) {
+	v, err := s.Do(runner.Cell{
+		Key: fmt.Sprintf("mat|%s|scale%d|seed%d", p.Name, o.Scale, seed),
+		Run: func() (any, error) {
+			return trace.Materialize(p.Source(o.Scale, seed)), nil
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.(*trace.Materialized), nil
+}
+
+// source returns an independent zero-alloc replay cursor over the
+// preset's materialized trace: the Source every simulation cell consumes
+// instead of re-running the generators.
+func (o Options) source(s *runner.Scheduler, p workload.Preset) (trace.Source, error) {
+	m, err := o.materialized(s, p, o.seed())
+	if err != nil {
+		return nil, err
+	}
+	return m.Cursor(), nil
+}
+
+// consolCursors materializes every component program of a consolidation
+// mix (program i at seed+7i, as workload.Consolidate seeds them) and
+// returns one fresh cursor per component, in mix order.
+func (o Options) consolCursors(s *runner.Scheduler, progs []workload.ConsolProgram) ([]trace.Source, []uint64, error) {
+	srcs := make([]trace.Source, len(progs))
+	quanta := make([]uint64, len(progs))
+	for i, p := range progs {
+		m, err := o.materialized(s, p.Preset, o.seed()+7*uint64(i))
+		if err != nil {
+			return nil, nil, err
+		}
+		srcs[i] = m.Cursor()
+		quanta[i] = p.Quantum
+	}
+	return srcs, quanta, nil
 }
 
 // covCfgKey fingerprints a coverage configuration. A DeadTimes sink is
@@ -89,14 +143,18 @@ type ltCov struct {
 }
 
 // ltCoverageCell runs LT-cords over one preset's trace.
-func (o Options) ltCoverageCell(p workload.Preset, params core.Params, cfg sim.CoverageConfig) runner.Task[ltCov] {
+func (o Options) ltCoverageCell(s *runner.Scheduler, p workload.Preset, params core.Params, cfg sim.CoverageConfig) runner.Task[ltCov] {
 	key := "cov|" + o.cellKey(p) + "|pf=lt{" + fp(params) + "}|" + covCfgKey(cfg)
 	return runner.Task[ltCov]{Key: key, Run: func() (ltCov, error) {
 		if cfg.DeadTimes != nil {
 			return ltCov{}, errDeadTimesSink
 		}
+		src, err := o.source(s, p)
+		if err != nil {
+			return ltCov{}, err
+		}
 		lt := core.MustNew(sim.PaperL1D(), params)
-		cov, err := sim.RunCoverage(p.Source(o.Scale, o.seed()), lt, cfg)
+		cov, err := sim.RunCoverage(src, lt, cfg)
 		if err != nil {
 			return ltCov{}, err
 		}
@@ -105,23 +163,31 @@ func (o Options) ltCoverageCell(p workload.Preset, params core.Params, cfg sim.C
 }
 
 // dbcpCoverageCell runs a DBCP configuration over one preset's trace.
-func (o Options) dbcpCoverageCell(p workload.Preset, params dbcp.Params, cfg sim.CoverageConfig) runner.Task[sim.Coverage] {
+func (o Options) dbcpCoverageCell(s *runner.Scheduler, p workload.Preset, params dbcp.Params, cfg sim.CoverageConfig) runner.Task[sim.Coverage] {
 	key := "cov|" + o.cellKey(p) + "|pf=dbcp{" + fp(params) + "}|" + covCfgKey(cfg)
 	return runner.Task[sim.Coverage]{Key: key, Run: func() (sim.Coverage, error) {
 		if cfg.DeadTimes != nil {
 			return sim.Coverage{}, errDeadTimesSink
 		}
-		return sim.RunCoverage(p.Source(o.Scale, o.seed()), dbcp.MustNew(sim.PaperL1D(), params), cfg)
+		src, err := o.source(s, p)
+		if err != nil {
+			return sim.Coverage{}, err
+		}
+		return sim.RunCoverage(src, dbcp.MustNew(sim.PaperL1D(), params), cfg)
 	}}
 }
 
 // corrCell runs the temporal-correlation analysis over one preset's trace
 // (shared by fig6left, fig6right and fig7). The Result's histograms are
 // cached and shared: consumers must not mutate them.
-func (o Options) corrCell(p workload.Preset, cfg corr.Config) runner.Task[corr.Result] {
+func (o Options) corrCell(s *runner.Scheduler, p workload.Preset, cfg corr.Config) runner.Task[corr.Result] {
 	key := "corr|" + o.cellKey(p) + "|cfg{" + fp(cfg) + "}"
 	return runner.Task[corr.Result]{Key: key, Run: func() (corr.Result, error) {
-		return corr.Analyze(p.Source(o.Scale, o.seed()), cfg)
+		src, err := o.source(s, p)
+		if err != nil {
+			return corr.Result{}, err
+		}
+		return corr.Analyze(src, cfg)
 	}}
 }
 
@@ -134,22 +200,16 @@ type timingRun struct {
 	DeadTimes *stats.Log2Histogram
 }
 
-// instrs resolves a preset's committed instruction count through the
-// scheduler (timing cells submit this as a nested cell to size their
-// SMARTS warm-up region).
+// instrs resolves a preset's committed instruction count (the timing
+// cells size their SMARTS warm-up region with it). The materialized
+// store accumulates stream statistics while encoding, so this costs a
+// map lookup — the seed-era dedicated counting pass per preset is gone.
 func (o Options) instrs(s *runner.Scheduler, p workload.Preset) (uint64, error) {
-	v, err := s.Do(runner.Cell{
-		Key: "instrs|" + o.cellKey(p),
-		Run: func() (any, error) {
-			var st trace.Stats
-			trace.ForEach(p.Source(o.Scale, o.seed()), st.Observe)
-			return st.Instrs, nil
-		},
-	})
+	m, err := o.materialized(s, p, o.seed())
 	if err != nil {
 		return 0, err
 	}
-	return v.(uint64), nil
+	return m.Stats().Instrs, nil
 }
 
 // timingCell runs one cycle-level simulation with the prefetcher
@@ -175,7 +235,11 @@ func (o Options) timingCell(s *runner.Scheduler, p workload.Preset, spec pfSpec,
 		if err != nil {
 			return timingRun{}, err
 		}
-		res := e.Run(p.Source(o.Scale, o.seed()), spec.mk())
+		src, err := o.source(s, p)
+		if err != nil {
+			return timingRun{}, err
+		}
+		res := e.Run(src, spec.mk())
 		return timingRun{Res: res, DeadTimes: pr.DeadTimes}, nil
 	}}
 }
@@ -193,7 +257,7 @@ type missRates struct {
 
 // missRateCell drives one preset's trace through an L1/L2 pair and
 // reports the miss rates.
-func (o Options) missRateCell(p workload.Preset, l1cfg, l2cfg cache.Config) runner.Task[missRates] {
+func (o Options) missRateCell(s *runner.Scheduler, p workload.Preset, l1cfg, l2cfg cache.Config) runner.Task[missRates] {
 	key := "missrate|" + o.cellKey(p) + "|l1{" + fp(l1cfg) + "}|l2{" + fp(l2cfg) + "}"
 	return runner.Task[missRates]{Key: key, Run: func() (missRates, error) {
 		l1, err := cache.New(l1cfg)
@@ -207,7 +271,10 @@ func (o Options) missRateCell(p workload.Preset, l1cfg, l2cfg cache.Config) runn
 		// Batch pump: the L1 filters whole reference batches, the L2 sees
 		// the compacted L1-miss stream; only the aggregate Stats are
 		// consumed, so the results-free batch path applies to both levels.
-		src := p.Source(o.Scale, o.seed())
+		src, err := o.source(s, p)
+		if err != nil {
+			return missRates{}, err
+		}
 		refBuf := make([]trace.Ref, trace.DefaultBatch)
 		lanes := trace.NewBatchLanes(trace.DefaultBatch)
 		hits := make([]bool, trace.DefaultBatch)
@@ -240,13 +307,17 @@ func (o Options) missRateCell(p workload.Preset, l1cfg, l2cfg cache.Config) runn
 // on one core with shared caches and shared predictor state (fig11): the
 // N=2 consolidation stream (partner shifted to a disjoint physical range
 // and tagged with context 1) driven through the monolithic coverage run.
-func (o Options) mixedCoverageCell(subject, partner workload.Preset, qSubj, qPart uint64, params core.Params) runner.Task[sim.Coverage] {
+func (o Options) mixedCoverageCell(s *runner.Scheduler, subject, partner workload.Preset, qSubj, qPart uint64, params core.Params) runner.Task[sim.Coverage] {
 	key := fmt.Sprintf("mixcov|%s|%s+%s|q%d/%d|pf=lt{%s}", o.cellKey(subject), subject.Name, partner.Name, qSubj, qPart, fp(params))
 	return runner.Task[sim.Coverage]{Key: key, Run: func() (sim.Coverage, error) {
-		mixed, err := workload.Consolidate([]workload.ConsolProgram{
+		srcs, quanta, err := o.consolCursors(s, []workload.ConsolProgram{
 			{Preset: subject, Quantum: qSubj},
 			{Preset: partner, Quantum: qPart},
-		}, o.Scale, o.seed(), 0)
+		})
+		if err != nil {
+			return sim.Coverage{}, err
+		}
+		mixed, err := workload.ConsolidateFrom(srcs, quanta, 0)
 		if err != nil {
 			return sim.Coverage{}, err
 		}
@@ -259,7 +330,7 @@ func (o Options) mixedCoverageCell(subject, partner workload.Preset, qSubj, qPar
 // coverage engine: every program gets a private cache hierarchy (its
 // shard), with predictor state either shared across contexts or
 // partitioned per context.
-func (o Options) consolCoverageCell(progs []workload.ConsolProgram, shared bool, params core.Params) runner.Task[sim.ShardedCoverage] {
+func (o Options) consolCoverageCell(s *runner.Scheduler, progs []workload.ConsolProgram, shared bool, params core.Params) runner.Task[sim.ShardedCoverage] {
 	names := make([]string, len(progs))
 	quanta := make([]uint64, len(progs))
 	for i, p := range progs {
@@ -269,7 +340,11 @@ func (o Options) consolCoverageCell(progs []workload.ConsolProgram, shared bool,
 	key := fmt.Sprintf("consolcov|scale%d|seed%d|mix=%s|q=%v|shared=%t|pf=lt{%s}",
 		o.Scale, o.seed(), strings.Join(names, "+"), quanta, shared, fp(params))
 	return runner.Task[sim.ShardedCoverage]{Key: key, Run: func() (sim.ShardedCoverage, error) {
-		src, err := workload.Consolidate(progs, o.Scale, o.seed(), 0)
+		srcs, quanta, err := o.consolCursors(s, progs)
+		if err != nil {
+			return sim.ShardedCoverage{}, err
+		}
+		src, err := workload.ConsolidateFrom(srcs, quanta, 0)
 		if err != nil {
 			return sim.ShardedCoverage{}, err
 		}
@@ -289,11 +364,15 @@ type decileCov struct {
 // decileCell measures LT-cords coverage per execution decile
 // (convergence): a shadow cache supplies the opportunity, bucketed by
 // reference index.
-func (o Options) decileCell(p workload.Preset, params core.Params) runner.Task[decileCov] {
+func (o Options) decileCell(s *runner.Scheduler, p workload.Preset, params core.Params) runner.Task[decileCov] {
 	key := "decile|" + o.cellKey(p) + "|pf=lt{" + fp(params) + "}"
 	return runner.Task[decileCov]{Key: key, Run: func() (decileCov, error) {
+		m, err := o.materialized(s, p, o.seed())
+		if err != nil {
+			return decileCov{}, err
+		}
 		var d decileCov
-		d.Total = trace.Count(p.Source(o.Scale, o.seed()))
+		d.Total = m.Refs() // from the store's stats: no counting pass
 		if d.Total == 0 {
 			return d, nil
 		}
@@ -312,7 +391,7 @@ func (o Options) decileCell(p workload.Preset, params core.Params) runner.Task[d
 		// demand references only, so whole batches flow through the
 		// results-free batch path; the main side stays per-reference
 		// because its prefetch fills must interleave with the lookups.
-		src := p.Source(o.Scale, o.seed())
+		src := m.Cursor()
 		refBuf := make([]trace.Ref, trace.DefaultBatch)
 		lanes := trace.NewBatchLanes(trace.DefaultBatch)
 		hits := make([]bool, trace.DefaultBatch)

@@ -46,6 +46,7 @@ func runConsol(o Options) (*Report, error) {
 	// fig8/fig11 via the cell cache), plus one sharded cell per
 	// (mix, predictor-state) combination.
 	soloIdx := map[string]int{}
+	s := o.sched()
 	var soloTasks []runner.Task[ltCov]
 	var mixTasks []runner.Task[sim.ShardedCoverage]
 	for _, mix := range consolMixes {
@@ -58,14 +59,13 @@ func runConsol(o Options) (*Report, error) {
 			progs = append(progs, workload.ConsolProgram{Preset: p, Quantum: quantum(p)})
 			if _, seen := soloIdx[name]; !seen {
 				soloIdx[name] = len(soloTasks)
-				soloTasks = append(soloTasks, o.ltCoverageCell(p, core.DefaultParams(), sim.CoverageConfig{}))
+				soloTasks = append(soloTasks, o.ltCoverageCell(s, p, core.DefaultParams(), sim.CoverageConfig{}))
 			}
 		}
 		mixTasks = append(mixTasks,
-			o.consolCoverageCell(progs, false, core.DefaultParams()),
-			o.consolCoverageCell(progs, true, core.DefaultParams()))
+			o.consolCoverageCell(s, progs, false, core.DefaultParams()),
+			o.consolCoverageCell(s, progs, true, core.DefaultParams()))
 	}
-	s := o.sched()
 	soloRes, mixRes, err := runner.All2(s, soloTasks, mixTasks)
 	if err != nil {
 		return nil, err

@@ -26,7 +26,7 @@ func runConvergence(o Options) (*Report, error) {
 	s := o.sched()
 	tasks := make([]runner.Task[decileCov], len(ps))
 	for i, p := range ps {
-		tasks[i] = o.decileCell(p, core.DefaultParams())
+		tasks[i] = o.decileCell(s, p, core.DefaultParams())
 	}
 	res, err := runner.All(s, tasks)
 	if err != nil {

@@ -63,6 +63,7 @@ func runFig11(o Options) (*Report, error) {
 	type pairing struct {
 		subject, partner workload.Preset
 	}
+	s := o.sched()
 	var soloTasks []runner.Task[ltCov]
 	var mixTasks []runner.Task[sim.Coverage]
 	var pairs []pairing
@@ -71,7 +72,7 @@ func runFig11(o Options) (*Report, error) {
 		if !ok {
 			return nil, fmt.Errorf("fig11: missing preset %s", name)
 		}
-		soloTasks = append(soloTasks, o.ltCoverageCell(subject, core.DefaultParams(), sim.CoverageConfig{}))
+		soloTasks = append(soloTasks, o.ltCoverageCell(s, subject, core.DefaultParams(), sim.CoverageConfig{}))
 		for _, partnerName := range fig11Pairs[name] {
 			partner, ok := workload.ByName(partnerName)
 			if !ok {
@@ -79,10 +80,9 @@ func runFig11(o Options) (*Report, error) {
 			}
 			pairs = append(pairs, pairing{subject, partner})
 			mixTasks = append(mixTasks,
-				o.mixedCoverageCell(subject, partner, quantum(subject), quantum(partner), core.DefaultParams()))
+				o.mixedCoverageCell(s, subject, partner, quantum(subject), quantum(partner), core.DefaultParams()))
 		}
 	}
-	s := o.sched()
 	soloRes, mixRes, err := runner.All2(s, soloTasks, mixTasks)
 	if err != nil {
 		return nil, err

@@ -49,22 +49,33 @@ func TestCellCacheCrossFigure(t *testing.T) {
 	s := runner.New(4)
 	o := Options{Scale: workload.Small, Benchmarks: []string{"swim", "mcf"}, Runner: s}
 
+	// fig8 on two benchmarks: 4 analysis cells (2 LT + 2 oracle), each
+	// nesting a materialization submission — the 2 "mat" cells execute
+	// once and the other 2 submissions hit them, so both analyses of one
+	// preset replay a single generation pass.
 	if _, err := Run("fig8", o); err != nil {
 		t.Fatal(err)
 	}
 	st1 := s.Stats()
-	if st1.Executed == 0 || st1.Submitted != 4 {
-		t.Fatalf("fig8 stats = %+v want 4 submissions (2 LT + 2 oracle)", st1)
+	if st1.Submitted != 8 || st1.Executed != 6 || st1.Hits != 2 {
+		t.Fatalf("fig8 stats = %+v want 8 submitted (4 analyses + 4 nested mat), 6 executed, 2 mat hits", st1)
 	}
 
 	// fig4 normalizes against the same unlimited-DBCP oracle runs fig8
-	// used: those cells must be served from the cache.
+	// used: those cells must be served from the cache, and every newly
+	// executed cell must replay the already-materialized traces. That is
+	// 16 analysis submissions (2 presets x (1 unlimited + 7 sizes)) of
+	// which the 2 oracle cells hit, plus 14 nested mat submissions from
+	// the executing cells — all hits.
 	if _, err := Run("fig4", o); err != nil {
 		t.Fatal(err)
 	}
 	st2 := s.Stats()
-	if reused := st2.Hits - st1.Hits; reused != 2 {
-		t.Errorf("fig4 reused %d cells, want 2 oracle runs", reused)
+	if executed := st2.Executed - st1.Executed; executed != 14 {
+		t.Errorf("fig4 executed %d new cells, want 14 (oracle runs and all traces cached)", executed)
+	}
+	if reused := st2.Hits - st1.Hits; reused != 16 {
+		t.Errorf("fig4 reused %d cells, want 16 (2 oracle runs + 14 materializations)", reused)
 	}
 
 	// A second fig8 run on the warm scheduler simulates nothing new.

@@ -20,7 +20,7 @@ func runTable2(o Options) (*Report, error) {
 	missTasks := make([]runner.Task[missRates], len(ps))
 	timingTasks := make([]runner.Task[timingRun], len(ps))
 	for i, p := range ps {
-		missTasks[i] = o.missRateCell(p, sim.PaperL1D(), sim.PaperL2())
+		missTasks[i] = o.missRateCell(s, p, sim.PaperL1D(), sim.PaperL2())
 		timingTasks[i] = o.baselineTimingCell(s, p)
 	}
 	misses, runs, err := runner.All2(s, missTasks, timingTasks)

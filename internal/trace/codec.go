@@ -84,34 +84,14 @@ func (w *Writer) WriteRefs(refs []Ref) error {
 	return nil
 }
 
-// Write appends one reference to the stream.
+// Write appends one reference to the stream. The record bytes come from
+// appendRecord (store.go) — the single encoder the streaming format and
+// the materialized store share.
 func (w *Writer) Write(r Ref) error {
-	flags := byte(0)
-	if r.Kind == Store {
-		flags |= 1
-	}
-	if r.Dep {
-		flags |= 2
-	}
-	n := 0
-	if r.Ctx <= 3 {
-		flags |= r.Ctx << 2
-		w.buf[n] = flags
-		n++
-	} else {
-		flags |= 1 << 4
-		w.buf[n] = flags
-		n++
-		w.buf[n] = r.Ctx
-		n++
-	}
-	w.buf[n] = r.Gap
-	n++
-	n += binary.PutUvarint(w.buf[n:], zigzag(int64(r.PC)-int64(w.prevPC)))
-	n += binary.PutUvarint(w.buf[n:], zigzag(int64(r.Addr)-int64(w.prevAddr)))
+	rec := appendRecord(w.buf[:0], r, w.prevPC, w.prevAddr)
 	w.prevPC, w.prevAddr = r.PC, r.Addr
 	w.count++
-	_, err := w.w.Write(w.buf[:n])
+	_, err := w.w.Write(rec)
 	return err
 }
 

@@ -1,0 +1,22 @@
+//go:build !(linux || darwin)
+
+package trace
+
+import (
+	"io"
+	"os"
+)
+
+// mmapFile falls back to reading the whole file into memory on platforms
+// without a wired-up mmap: OpenStore still works, it just pays a heap
+// copy (the memory-vs-mmap policy of DESIGN.md §10 degrades to
+// memory-only).
+func mmapFile(f *os.File, size int64) ([]byte, error) {
+	buf := make([]byte, size)
+	if _, err := io.ReadFull(io.NewSectionReader(f, 0, size), buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+func munmap([]byte) error { return nil }

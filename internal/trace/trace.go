@@ -160,10 +160,17 @@ func (f FuncSource) ReadRefs(buf []Ref) int {
 // amortized batch reads: interleaving combinators that must make a per-ref
 // decision (InterleaveQuanta, workload.Mix) pull through one of these so the
 // underlying source still produces full batches.
+//
+// A Puller recognizes Tee sources and takes over their observation duty:
+// it reads batches from the tee's underlying source and invokes the
+// observer per reference as Next delivers it, so a consumer that stops
+// early (an interleaver hitting maxSwitches) never observes references
+// that stayed buffered. See Tee.
 type Puller struct {
-	src    Source
-	buf    []Ref
-	pos, n int
+	src     Source
+	observe func(Ref) // non-nil when an unwrapped Tee's fn moved here
+	buf     []Ref
+	pos, n  int
 }
 
 // NewPuller wraps src; batch <= 0 selects DefaultBatch.
@@ -171,7 +178,30 @@ func NewPuller(src Source, batch int) *Puller {
 	if batch <= 0 {
 		batch = DefaultBatch
 	}
-	return &Puller{src: src, buf: make([]Ref, batch)}
+	p := &Puller{src: src, buf: make([]Ref, batch)}
+	// Unwrap any stack of tees, composing their observers in the same
+	// innermost-first order the tees themselves would fire in.
+	var fns []func(Ref)
+	for {
+		t, ok := p.src.(*teeSource)
+		if !ok {
+			break
+		}
+		fns = append(fns, t.fn)
+		p.src = t.src
+	}
+	switch len(fns) {
+	case 0:
+	case 1:
+		p.observe = fns[0]
+	default:
+		p.observe = func(r Ref) {
+			for i := len(fns) - 1; i >= 0; i-- {
+				fns[i](r)
+			}
+		}
+	}
+	return p
 }
 
 // Next returns the next reference, refilling the internal batch as needed.
@@ -185,6 +215,9 @@ func (p *Puller) Next() (Ref, bool) {
 	}
 	r := p.buf[p.pos]
 	p.pos++
+	if p.observe != nil {
+		p.observe(r)
+	}
 	return r, true
 }
 
@@ -382,22 +415,46 @@ func InterleaveQuantaN(srcs []Source, quanta []uint64, maxSwitches int) Source {
 	})
 }
 
-// Tee invokes fn for every reference flowing through the returned source.
-// It is useful for collecting side statistics without a second pass. With
-// batch reads, fn is invoked when a batch is produced, which may be before
-// the consumer actually processes the corresponding references — and if a
-// downstream consumer reads ahead and then stops early (e.g. a Puller
-// inside InterleaveQuanta whose stream hits maxSwitches), fn will have
-// fired for buffered references that are never emitted. Side statistics
-// are therefore exact only for streams drained to exhaustion.
+// Tee invokes fn for every reference delivered by the returned source.
+// It is useful for collecting side statistics without a second pass.
+// Observation happens on delivery: a direct batch read observes exactly
+// the references it returns, and a Puller wrapped around the tee (the
+// composition every interleaving combinator uses) takes over the
+// observer and fires it per reference as Next hands it downstream — so
+// when the downstream stream stops early (InterleaveQuanta hitting
+// maxSwitches), references the Puller read ahead but never delivered
+// are never observed, and side statistics match the emitted stream
+// exactly. Only an intermediate buffering layer other than Puller
+// (between the tee and the point of real consumption) can still observe
+// ahead of consumption.
 func Tee(src Source, fn func(Ref)) Source {
-	return FillFunc(func(buf []Ref) int {
-		n := src.ReadRefs(buf)
-		for i := range buf[:n] {
-			fn(buf[i])
-		}
-		return n
-	})
+	return &teeSource{src: src, fn: fn}
+}
+
+// teeSource is Tee's concrete type; NewPuller unwraps it to observe on
+// per-reference delivery instead of on batch production.
+type teeSource struct {
+	src Source
+	fn  func(Ref)
+}
+
+// ReadRefs implements Source; every reference in the returned batch is
+// delivered to the caller and observed.
+func (t *teeSource) ReadRefs(buf []Ref) int {
+	n := t.src.ReadRefs(buf)
+	for i := range buf[:n] {
+		t.fn(buf[i])
+	}
+	return n
+}
+
+// Next implements Source, observing the single delivered reference.
+func (t *teeSource) Next() (Ref, bool) {
+	r, ok := t.src.Next()
+	if ok {
+		t.fn(r)
+	}
+	return r, ok
 }
 
 // Stats summarises a reference stream.

@@ -144,6 +144,55 @@ func TestTeeAndStats(t *testing.T) {
 	}
 }
 
+// TestTeeObservesOnDelivery pins the read-ahead fix: when an interleaved
+// stream stops early (maxSwitches), the tee's observer must have fired
+// exactly for the references the interleaver emitted — never for refs a
+// Puller read ahead into its batch buffer and then dropped.
+func TestTeeObservesOnDelivery(t *testing.T) {
+	mk := func(pc uint64) []Ref {
+		rs := make([]Ref, 2000)
+		for i := range rs {
+			rs[i] = ref(pc, uint64(i))
+		}
+		return rs
+	}
+	var observed []Ref
+	a := Tee(NewSliceSource(mk(1)), func(r Ref) { observed = append(observed, r) })
+	b := NewSliceSource(mk(2))
+	// Quanta of 5; stop after 4 switches — far fewer refs than the Puller's
+	// DefaultBatch read-ahead, so under production-time observation the tee
+	// would have seen 512 refs from a.
+	got := Collect(InterleaveQuanta(a, b, 5, 5, 4), 0)
+	var emittedFromA []Ref
+	for _, r := range got {
+		if r.PC == 1 {
+			emittedFromA = append(emittedFromA, r)
+		}
+	}
+	if len(emittedFromA) == 0 || len(emittedFromA) >= 2000 {
+		t.Fatalf("test stream shape off: %d refs emitted from a", len(emittedFromA))
+	}
+	if !reflect.DeepEqual(observed, emittedFromA) {
+		t.Errorf("tee observed %d refs, stream emitted %d from a: observation must match delivery exactly",
+			len(observed), len(emittedFromA))
+	}
+}
+
+// TestTeeStackedObservers: a Puller over nested tees preserves the
+// innermost-first observation order per delivered reference.
+func TestTeeStackedObservers(t *testing.T) {
+	var order []string
+	src := Tee(Tee(NewSliceSource([]Ref{ref(1, 1)}), func(Ref) { order = append(order, "inner") }),
+		func(Ref) { order = append(order, "outer") })
+	p := NewPuller(src, 4)
+	if _, ok := p.Next(); !ok {
+		t.Fatal("ref lost")
+	}
+	if !reflect.DeepEqual(order, []string{"inner", "outer"}) {
+		t.Errorf("observation order = %v", order)
+	}
+}
+
 func TestCodecRoundTripFixed(t *testing.T) {
 	refs := []Ref{
 		{PC: 0x1000, Addr: 0x7fff0000, Kind: Load, Gap: 4},

@@ -38,8 +38,30 @@ func Consolidate(progs []ConsolProgram, s Scale, seed uint64, maxSwitches int) (
 	srcs := make([]trace.Source, len(progs))
 	quanta := make([]uint64, len(progs))
 	for i, p := range progs {
-		srcs[i] = trace.Offset(p.Preset.Source(s, seed+7*uint64(i)), mem.Addr(uint64(i))<<32, uint8(i))
+		srcs[i] = p.Preset.Source(s, seed+7*uint64(i))
 		quanta[i] = p.Quantum
 	}
-	return trace.InterleaveQuantaN(srcs, quanta, maxSwitches), nil
+	return ConsolidateFrom(srcs, quanta, maxSwitches)
+}
+
+// ConsolidateFrom builds the consolidation mix over externally supplied
+// component streams — typically cursors over materialized traces
+// (trace.Materialized), so N-program mixes replay pre-generated
+// components instead of re-running the generators per mix. Stream i is
+// shifted to the disjoint 4GiB range i<<32 and tagged Ctx=i exactly as
+// Consolidate does (srcs must be untagged, unshifted program streams in
+// mix order), then the programs rotate with per-program quanta.
+func ConsolidateFrom(srcs []trace.Source, quanta []uint64, maxSwitches int) (trace.Source, error) {
+	if len(srcs) != len(quanta) {
+		return nil, fmt.Errorf("workload: %d streams with %d quanta", len(srcs), len(quanta))
+	}
+	if len(srcs) > MaxContexts {
+		return nil, fmt.Errorf("workload: %d programs exceed the %d-context Ctx tag space (trace.Ref.Ctx is uint8)",
+			len(srcs), MaxContexts)
+	}
+	tagged := make([]trace.Source, len(srcs))
+	for i, src := range srcs {
+		tagged[i] = trace.Offset(src, mem.Addr(uint64(i))<<32, uint8(i))
+	}
+	return trace.InterleaveQuantaN(tagged, quanta, maxSwitches), nil
 }

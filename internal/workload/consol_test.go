@@ -40,6 +40,42 @@ func TestConsolidatePairMatchesFig11Construction(t *testing.T) {
 	}
 }
 
+// TestConsolidateFromCursors pins the materialized-replay path the
+// experiment cells use: consolidating cursors over materialized component
+// traces must reproduce, reference for reference, the generator-built mix.
+func TestConsolidateFromCursors(t *testing.T) {
+	var progs []ConsolProgram
+	var srcs []trace.Source
+	var quanta []uint64
+	for i, name := range []string{"gcc", "swim", "gzip"} {
+		p, ok := ByName(name)
+		if !ok {
+			t.Fatalf("missing preset %s", name)
+		}
+		progs = append(progs, ConsolProgram{Preset: p, Quantum: uint64(3_000 + 1_000*i)})
+		srcs = append(srcs, trace.Materialize(p.Source(Small, 1+7*uint64(i))).Cursor())
+		quanta = append(quanta, progs[i].Quantum)
+	}
+	direct, err := Consolidate(progs, Small, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	replayed, err := ConsolidateFrom(srcs, quanta, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := trace.Collect(direct, 0)
+	have := trace.Collect(replayed, 0)
+	if len(want) != len(have) {
+		t.Fatalf("length mismatch: generated %d refs, replayed %d refs", len(want), len(have))
+	}
+	for i := range want {
+		if want[i] != have[i] {
+			t.Fatalf("ref %d differs: generated %+v, replayed %+v", i, want[i], have[i])
+		}
+	}
+}
+
 // TestConsolidateContexts checks that an N-way mix carries all N context
 // tags with disjoint address ranges.
 func TestConsolidateContexts(t *testing.T) {

@@ -169,7 +169,7 @@ func BenchmarkCoverage(b *testing.B) {
 	lt := core.MustNew(sim.PaperL1D(), core.DefaultParams())
 	b.ReportAllocs()
 	b.ResetTimer()
-	cov, err := sim.RunCoverage(src, lt, sim.CoverageConfig{})
+	cov, err := sim.RunCoverage(src, lt, sim.Config{})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -184,6 +184,19 @@ func BenchmarkCoverage(b *testing.B) {
 // the zero-alloc batch contract, so allocs/op must report 0 just like the
 // monolithic driver.
 func BenchmarkCoverageSharded(b *testing.B) {
+	benchSharded(b, 1)
+}
+
+// BenchmarkCoverageShardedParallel is the same run at Workers 4: the
+// stream demultiplexes into per-context segments consumed by shard-owning
+// worker goroutines, with segment buffers recycled through a free list,
+// so the steady state stays zero-alloc and results byte-identical.
+func BenchmarkCoverageShardedParallel(b *testing.B) {
+	benchSharded(b, 4)
+}
+
+func benchSharded(b *testing.B, workers int) {
+	b.Helper()
 	mk := func() trace.Source {
 		var progs []workload.ConsolProgram
 		for _, name := range []string{"gcc", "gzip", "swim", "mcf"} {
@@ -199,9 +212,9 @@ func BenchmarkCoverageSharded(b *testing.B) {
 	src := trace.Limit(cyclic(mk), uint64(b.N))
 	b.ReportAllocs()
 	b.ResetTimer()
-	sc, err := sim.RunCoverageSharded(src,
+	sc, err := sim.Run(src,
 		func(int) sim.Prefetcher { return core.MustNew(sim.PaperL1D(), core.DefaultParams()) },
-		sim.ShardedConfig{Contexts: 4})
+		sim.Config{Contexts: 4, Workers: workers})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -263,9 +276,22 @@ func BenchmarkTraceReplay(b *testing.B) {
 // time; allocs track the scheduler + cell machinery and are gated on
 // growth, not on zero.
 func BenchmarkExpAll(b *testing.B) {
+	benchExpAll(b, 0)
+}
+
+// BenchmarkExpAllParallel is BenchmarkExpAll with intra-run workers enabled:
+// consolidation cells decompose into per-context shard cells co-scheduled on
+// the same CPU budget as cell-level parallelism (weighted admission), so the
+// report bytes stay identical while the wall time tracks the shard fan-out.
+func BenchmarkExpAllParallel(b *testing.B) {
+	benchExpAll(b, 8)
+}
+
+func benchExpAll(b *testing.B, workers int) {
+	b.Helper()
 	for i := 0; i < b.N; i++ {
 		sched := runner.New(0)
-		o := exp.Options{Scale: workload.Small, Benchmarks: []string{"swim", "mcf", "gzip"}, Runner: sched}
+		o := exp.Options{Scale: workload.Small, Benchmarks: []string{"swim", "mcf", "gzip"}, Runner: sched, Workers: workers}
 		for _, id := range exp.IDs() {
 			if _, err := exp.Run(id, o); err != nil {
 				b.Fatalf("%s: %v", id, err)
@@ -298,7 +324,7 @@ func BenchmarkCoverageLTCords(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		p, _ := workload.ByName("swim")
 		lt := core.MustNew(sim.PaperL1D(), core.DefaultParams())
-		cov, err := sim.RunCoverage(p.Source(workload.Small, 1), lt, sim.CoverageConfig{})
+		cov, err := sim.RunCoverage(p.Source(workload.Small, 1), lt, sim.Config{})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -312,7 +338,7 @@ func BenchmarkCoverageDBCPUnlimited(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		p, _ := workload.ByName("swim")
 		pr := dbcp.MustNew(sim.PaperL1D(), dbcp.UnlimitedParams())
-		cov, err := sim.RunCoverage(p.Source(workload.Small, 1), pr, sim.CoverageConfig{})
+		cov, err := sim.RunCoverage(p.Source(workload.Small, 1), pr, sim.Config{})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -325,7 +351,7 @@ func BenchmarkCoverageGHB(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		p, _ := workload.ByName("swim")
 		pr := ghb.MustNew(sim.PaperL1D(), ghb.DefaultParams())
-		cov, err := sim.RunCoverage(p.Source(workload.Small, 1), pr, sim.CoverageConfig{WithL2: true})
+		cov, err := sim.RunCoverage(p.Source(workload.Small, 1), pr, sim.Config{WithL2: true})
 		if err != nil {
 			b.Fatal(err)
 		}

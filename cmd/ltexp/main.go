@@ -6,6 +6,7 @@
 //	ltexp -exp consol               # sharded 2/4/8-context consolidation mixes
 //	ltexp -exp all -scale medium    # every experiment at medium scale
 //	ltexp -exp all -parallel 8      # fan simulation cells over 8 workers
+//	ltexp -exp consol -workers 8    # intra-run parallelism inside sharded cells
 //	ltexp -exp all -json            # structured output for bench tracking
 //	ltexp -exp table3 -bench mcf,em3d,swim
 //	ltexp -list                     # enumerate experiment ids
@@ -14,7 +15,10 @@
 // pool (internal/runner); one scheduler is shared across the whole
 // invocation, so cells repeated between figures (baseline timing runs,
 // correlation analyses, oracle coverage runs) are simulated exactly once.
-// Reports are byte-identical at any -parallel value.
+// -workers additionally parallelizes inside a single sharded simulation
+// cell (the consolidation mixes); cells that fan out declare a matching
+// scheduler weight, so the two knobs share one CPU budget. Reports are
+// byte-identical at any -parallel and -workers values.
 //
 // Experiment ids map to the paper artifacts; see DESIGN.md §3.
 package main
@@ -38,6 +42,7 @@ func main() {
 		seed     = flag.Uint64("seed", 1, "workload seed")
 		benches  = flag.String("bench", "", "comma-separated benchmark subset (default: experiment's own)")
 		parallel = flag.Int("parallel", 0, "simulation cell workers (0 = GOMAXPROCS)")
+		workers  = flag.Int("workers", 0, "intra-run workers inside one sharded simulation cell (0/1 = serial)")
 		jsonOut  = flag.Bool("json", false, "emit one JSON envelope instead of text reports")
 		list     = flag.Bool("list", false, "list experiment ids and exit")
 		quiet    = flag.Bool("q", false, "suppress progress output")
@@ -62,7 +67,7 @@ func main() {
 	// One scheduler for the whole invocation: its cell cache spans every
 	// experiment, so figures sharing cells re-simulate nothing.
 	sched := runner.New(*parallel)
-	opts := exp.Options{Scale: sc, Seed: *seed, Parallelism: *parallel, Runner: sched}
+	opts := exp.Options{Scale: sc, Seed: *seed, Parallelism: *parallel, Workers: *workers, Runner: sched}
 	if *benches != "" {
 		opts.Benchmarks = strings.Split(*benches, ",")
 	}

@@ -6,7 +6,16 @@
 //	ltsim -bench mcf -pred lt-cords            # coverage run
 //	ltsim -bench swim -pred ghb -timing        # timing run (IPC, traffic)
 //	ltsim -bench art -pred dbcp -timing -l2 4  # with a 4MB L2
+//	ltsim -trace mix.ltct -contexts 4          # sharded multi-context coverage
+//	ltsim -trace mix.ltct -contexts 4 -workers 4 -sharedpred=false
 //	ltsim -list                                # list benchmarks
+//
+// -contexts N routes a multi-context trace (context-tagged references,
+// e.g. a consolidation mix recorded by lttrace) through the sharded
+// coverage engine: each context gets a private cache hierarchy, with
+// predictor state partitioned per context or (-sharedpred) shared across
+// the mix. -workers parallelizes partitioned shards; results are
+// byte-identical at any worker count.
 package main
 
 import (
@@ -63,6 +72,9 @@ func run() int {
 		timing  = flag.Bool("timing", false, "run the cycle timing model instead of trace-driven coverage")
 		l2mb    = flag.Int("l2", 1, "L2 size in MB (timing mode)")
 		withL2  = flag.Bool("withl2", false, "track L2 misses in coverage mode")
+		ctxs    = flag.Int("contexts", 1, "shard count for multi-context traces (coverage mode; >1 selects the sharded engine)")
+		workers = flag.Int("workers", 0, "intra-run worker goroutines for partitioned sharded coverage (0/1 = serial)")
+		shpred  = flag.Bool("sharedpred", false, "share one predictor across contexts (sharded mode; forces serial)")
 		list    = flag.Bool("list", false, "list benchmark presets and exit")
 		perfect = flag.Bool("perfect", false, "perfect L1 (timing mode upper bound)")
 		cpuProf = flag.String("cpuprofile", "", "write a CPU profile of the simulation to this file")
@@ -174,7 +186,32 @@ func run() int {
 		return 0
 	}
 
-	cfg := sim.CoverageConfig{WithL2: *withL2}
+	if *ctxs > 1 {
+		sc, err := sim.Run(src, func(int) sim.Prefetcher {
+			p, err := buildPredictor(*pred)
+			if err != nil {
+				panic(err) // name already validated above
+			}
+			return p
+		}, sim.Config{WithL2: *withL2, Contexts: *ctxs, SharedState: *shpred, Workers: *workers})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ltsim:", err)
+			return 1
+		}
+		fmt.Printf("trace:        %s (%d contexts, shared-predictor=%t, workers=%d)\n", p.Name, *ctxs, *shpred, *workers)
+		fmt.Printf("predictor:    %s\n", sc.Predictor)
+		fmt.Printf("references:   %d\n", sc.Refs)
+		fmt.Printf("merged:       opportunity=%d correct=%d (%.1f%%) incorrect=%.1f%% train=%.1f%% early=%.1f%%\n",
+			sc.Opportunity, sc.Correct, sc.CoveragePct()*100,
+			sc.IncorrectPct()*100, sc.TrainPct()*100, sc.EarlyPct()*100)
+		for i, sh := range sc.Shards {
+			fmt.Printf("ctx %-3d       refs=%-10d opportunity=%-9d coverage=%.1f%%\n",
+				i, sh.Refs, sh.Opportunity, sh.CoveragePct()*100)
+		}
+		return 0
+	}
+
+	cfg := sim.Config{WithL2: *withL2}
 	cov, err := sim.RunCoverage(src, pf, cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ltsim:", err)

@@ -8,18 +8,24 @@
 //	lttrace -bench mcf -record -out mcf.ltcx                # generate (indexed store)
 //	lttrace -in mcf.ltct -stats                             # summarize a stream
 //	lttrace -in mcf.ltcx -replay -stats                     # mmap + replay a store
+//	lttrace -in mcf.ltcx -verify -workers 8                 # parallel integrity check
 //	lttrace -in mcf.ltct -head 20                           # dump first records
 //
 // A recorded store carries the chunk index in its file header (each chunk
 // a delta-reset point), so -replay maps the file and streams it through a
 // zero-alloc cursor at decode bandwidth — multi-GB traces replay without
-// heap churn.
+// heap churn. -verify exploits the same per-chunk delta resets for
+// chunk-granular parallel replay: -workers goroutines each decode a
+// contiguous chunk range through an independent range cursor, fold the
+// order-insensitive stream statistics, and the merged result must equal
+// the encode-time stats in the header.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"repro/internal/trace"
 	"repro/internal/workload"
@@ -42,10 +48,31 @@ func main() {
 		record = flag.Bool("record", false, "write the indexed store format (LTCX) instead of the record stream")
 		replay = flag.Bool("replay", false, "treat -in as an indexed store: mmap it and replay through a cursor")
 		chunk  = flag.Int("chunk", 0, "refs per chunk when recording (0 = default)")
+		verify = flag.Bool("verify", false, "treat -in as an indexed store: recompute stream stats chunk-parallel and check them against the header")
+		nwork  = flag.Int("workers", 0, "worker goroutines for -verify (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 
 	switch {
+	case *verify && *in != "":
+		m, err := trace.OpenStore(*in)
+		if err != nil {
+			fail(err)
+		}
+		defer m.Close()
+		w := *nwork
+		if w <= 0 {
+			w = runtime.GOMAXPROCS(0)
+		}
+		st, err := m.ReplayStats(w)
+		if err != nil {
+			fail(err)
+		}
+		if st != m.Stats() {
+			fail(fmt.Errorf("%s: replayed stats %+v differ from header %+v (corrupt store?)", *in, st, m.Stats()))
+		}
+		fmt.Printf("verified %s: %d refs across %d chunks (%d workers); replayed stats match the header\n",
+			*in, m.Refs(), m.Chunks(), w)
 	case *bench != "" && *out != "":
 		p, ok := workload.ByName(*bench)
 		if !ok {

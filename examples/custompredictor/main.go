@@ -71,7 +71,7 @@ func main() {
 			&nextN{geo: geo, n: 2},
 			core.MustNew(l1, core.DefaultParams()),
 		} {
-			cov, err := sim.RunCoverage(mk(), pf, sim.CoverageConfig{})
+			cov, err := sim.RunCoverage(mk(), pf, sim.Config{})
 			if err != nil {
 				log.Fatal(err)
 			}

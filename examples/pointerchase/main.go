@@ -36,7 +36,7 @@ func chase() trace.Source {
 }
 
 func coverageOf(pf sim.Prefetcher) sim.Coverage {
-	cov, err := sim.RunCoverage(chase(), pf, sim.CoverageConfig{})
+	cov, err := sim.RunCoverage(chase(), pf, sim.Config{})
 	if err != nil {
 		log.Fatal(err)
 	}

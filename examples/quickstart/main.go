@@ -36,7 +36,7 @@ func main() {
 	}
 	fmt.Println(lt)
 
-	cov, err := sim.RunCoverage(src, lt, sim.CoverageConfig{})
+	cov, err := sim.RunCoverage(src, lt, sim.Config{})
 	if err != nil {
 		log.Fatal(err)
 	}

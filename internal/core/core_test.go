@@ -107,7 +107,7 @@ func TestLTCordsCoversRepeatingSweep(t *testing.T) {
 		Base: 0x100000, Arrays: 1, Elems: 16384, Stride: 64, Iters: 6, PCBase: 0x10,
 	})
 	pr := MustNew(sim.PaperL1D(), DefaultParams())
-	cov, err := sim.RunCoverage(src, pr, sim.CoverageConfig{})
+	cov, err := sim.RunCoverage(src, pr, sim.Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -133,7 +133,7 @@ func TestLTCordsCoversShuffledChase(t *testing.T) {
 		Base: 0x100000, Nodes: 16384, NodeSize: 64, ShuffleLayout: true, Iters: 6, PCBase: 0x10, Seed: 11,
 	})
 	pr := MustNew(sim.PaperL1D(), DefaultParams())
-	cov, err := sim.RunCoverage(src, pr, sim.CoverageConfig{})
+	cov, err := sim.RunCoverage(src, pr, sim.Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -151,7 +151,7 @@ func TestLTCordsOnUncorrelatedAccesses(t *testing.T) {
 		Base: 0x100000, Footprint: 1 << 21, Refs: 400000, PCs: 16, PCBase: 0x10, Seed: 3,
 	})
 	pr := MustNew(sim.PaperL1D(), DefaultParams())
-	cov, err := sim.RunCoverage(src, pr, sim.CoverageConfig{})
+	cov, err := sim.RunCoverage(src, pr, sim.Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -171,7 +171,7 @@ func TestLTCordsDeterministic(t *testing.T) {
 			Base: 0x100000, Arrays: 2, Elems: 4096, Stride: 64, Iters: 4, PCBase: 0x10, Seed: 5,
 		})
 		pr := MustNew(sim.PaperL1D(), DefaultParams())
-		cov, err := sim.RunCoverage(src, pr, sim.CoverageConfig{})
+		cov, err := sim.RunCoverage(src, pr, sim.Config{})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -198,7 +198,7 @@ func TestSigCacheSizeMatters(t *testing.T) {
 			Base: 0x100000, Arrays: 2, Elems: 16384, Stride: 64, Iters: 5, PCBase: 0x10,
 		})
 		pr := MustNew(sim.PaperL1D(), p)
-		cov, err := sim.RunCoverage(src, pr, sim.CoverageConfig{})
+		cov, err := sim.RunCoverage(src, pr, sim.Config{})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -223,7 +223,7 @@ func TestOffChipStorageMatters(t *testing.T) {
 			Base: 0x100000, Arrays: 2, Elems: 32768, Stride: 64, Iters: 5, PCBase: 0x10,
 		})
 		pr := MustNew(sim.PaperL1D(), p)
-		cov, err := sim.RunCoverage(src, pr, sim.CoverageConfig{})
+		cov, err := sim.RunCoverage(src, pr, sim.Config{})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -307,7 +307,7 @@ func TestSignatureTruncation(t *testing.T) {
 			Base: 0x100000, Arrays: 2, Elems: 16384, Stride: 64, Iters: 5, PCBase: 0x10,
 		})
 		pr := MustNew(sim.PaperL1D(), p)
-		cov, err := sim.RunCoverage(src, pr, sim.CoverageConfig{})
+		cov, err := sim.RunCoverage(src, pr, sim.Config{})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -333,7 +333,7 @@ func TestTargetL2Ablation(t *testing.T) {
 		Base: 0x100000, Arrays: 2, Elems: 32768, Stride: 64, Iters: 5, PCBase: 0x10,
 	})
 	pr := MustNew(sim.PaperL1D(), p)
-	cov, err := sim.RunCoverage(src, pr, sim.CoverageConfig{WithL2: true})
+	cov, err := sim.RunCoverage(src, pr, sim.Config{WithL2: true})
 	if err != nil {
 		t.Fatal(err)
 	}

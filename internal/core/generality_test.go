@@ -27,7 +27,7 @@ func TestLTCordsAcrossL1Geometries(t *testing.T) {
 			Base: 0x100000, Arrays: 2, Elems: 16384, Stride: 64, Iters: 5, PCBase: 0x10,
 		})
 		pr := MustNew(cfg, DefaultParams())
-		cov, err := sim.RunCoverage(src, pr, sim.CoverageConfig{L1: cfg})
+		cov, err := sim.RunCoverage(src, pr, sim.Config{L1: cfg})
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -41,7 +41,7 @@ func TestNewValidation(t *testing.T) {
 
 func TestUnlimitedCoversSweep(t *testing.T) {
 	pr := MustNew(sim.PaperL1D(), UnlimitedParams())
-	cov, err := sim.RunCoverage(workload.ArraySweep(*sweep(6)), pr, sim.CoverageConfig{})
+	cov, err := sim.RunCoverage(workload.ArraySweep(*sweep(6)), pr, sim.Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -60,7 +60,7 @@ func TestUnlimitedCoversSweep(t *testing.T) {
 func TestFiniteTableDegrades(t *testing.T) {
 	run := func(p Params) float64 {
 		pr := MustNew(sim.PaperL1D(), p)
-		cov, err := sim.RunCoverage(workload.ArraySweep(*sweep(6)), pr, sim.CoverageConfig{})
+		cov, err := sim.RunCoverage(workload.ArraySweep(*sweep(6)), pr, sim.Config{})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -83,7 +83,7 @@ func TestMonotoneInTableSize(t *testing.T) {
 		p := DefaultParams()
 		p.TableBytes = s
 		pr := MustNew(sim.PaperL1D(), p)
-		cov, err := sim.RunCoverage(workload.ArraySweep(*sweep(5)), pr, sim.CoverageConfig{})
+		cov, err := sim.RunCoverage(workload.ArraySweep(*sweep(5)), pr, sim.Config{})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -150,9 +150,9 @@ func TestUnlimitedDominates(t *testing.T) {
 		}
 	}
 	unl := MustNew(sim.PaperL1D(), UnlimitedParams())
-	covU, _ := sim.RunCoverage(workload.PointerChase(*mkSrc()), unl, sim.CoverageConfig{})
+	covU, _ := sim.RunCoverage(workload.PointerChase(*mkSrc()), unl, sim.Config{})
 	fin := MustNew(sim.PaperL1D(), Params{TableBytes: 8 * 1024, EntryBytes: 5, Assoc: 8, ConfInit: 2, ConfMax: 3, ConfThresh: 2})
-	covF, _ := sim.RunCoverage(workload.PointerChase(*mkSrc()), fin, sim.CoverageConfig{})
+	covF, _ := sim.RunCoverage(workload.PointerChase(*mkSrc()), fin, sim.Config{})
 	t.Logf("unlimited %.2f vs 8KB %.2f", covU.CoveragePct(), covF.CoveragePct())
 	if covU.CoveragePct()+0.02 < covF.CoveragePct() {
 		t.Error("unlimited DBCP must dominate a tiny table")

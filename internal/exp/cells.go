@@ -94,7 +94,7 @@ func (o Options) consolCursors(s *runner.Scheduler, progs []workload.ConsolProgr
 // marked (not fingerprinted): cell results are cached and shared, so a
 // side-channel output sink would stay empty on a cache hit — such
 // configs get their own key and are rejected at run time.
-func covCfgKey(cfg sim.CoverageConfig) string {
+func covCfgKey(cfg sim.Config) string {
 	key := fmt.Sprintf("l1{%+v}|l2{%+v}|withl2=%t", cfg.L1, cfg.L2, cfg.WithL2)
 	if cfg.DeadTimes != nil {
 		key += "|deadtimes=sink"
@@ -143,7 +143,7 @@ type ltCov struct {
 }
 
 // ltCoverageCell runs LT-cords over one preset's trace.
-func (o Options) ltCoverageCell(s *runner.Scheduler, p workload.Preset, params core.Params, cfg sim.CoverageConfig) runner.Task[ltCov] {
+func (o Options) ltCoverageCell(s *runner.Scheduler, p workload.Preset, params core.Params, cfg sim.Config) runner.Task[ltCov] {
 	key := "cov|" + o.cellKey(p) + "|pf=lt{" + fp(params) + "}|" + covCfgKey(cfg)
 	return runner.Task[ltCov]{Key: key, Run: func() (ltCov, error) {
 		if cfg.DeadTimes != nil {
@@ -163,7 +163,7 @@ func (o Options) ltCoverageCell(s *runner.Scheduler, p workload.Preset, params c
 }
 
 // dbcpCoverageCell runs a DBCP configuration over one preset's trace.
-func (o Options) dbcpCoverageCell(s *runner.Scheduler, p workload.Preset, params dbcp.Params, cfg sim.CoverageConfig) runner.Task[sim.Coverage] {
+func (o Options) dbcpCoverageCell(s *runner.Scheduler, p workload.Preset, params dbcp.Params, cfg sim.Config) runner.Task[sim.Coverage] {
 	key := "cov|" + o.cellKey(p) + "|pf=dbcp{" + fp(params) + "}|" + covCfgKey(cfg)
 	return runner.Task[sim.Coverage]{Key: key, Run: func() (sim.Coverage, error) {
 		if cfg.DeadTimes != nil {
@@ -322,7 +322,32 @@ func (o Options) mixedCoverageCell(s *runner.Scheduler, subject, partner workloa
 			return sim.Coverage{}, err
 		}
 		lt := core.MustNew(sim.PaperL1D(), params)
-		return sim.RunCoverage(mixed, lt, sim.CoverageConfig{})
+		return sim.RunCoverage(mixed, lt, sim.Config{})
+	}}
+}
+
+// shardCoverageCell runs one consolidation context standalone: the
+// component stream shifted to its disjoint 4GiB range and tagged with its
+// context — exactly the references the interleaved mix routes to shard
+// ctx (quantum interleaving with unlimited switches preserves each
+// component's references in order), so sim.MergeShards over these cells
+// reproduces the serial sharded run byte for byte. The key carries
+// neither the quantum nor the mix: a context shared by several mixes
+// (the consolidation mixes are prefixes of each other) simulates once.
+func (o Options) shardCoverageCell(s *runner.Scheduler, p workload.Preset, ctx int, params core.Params, cfg sim.Config) runner.Task[sim.Coverage] {
+	seed := o.seed() + 7*uint64(ctx)
+	key := fmt.Sprintf("covshard|%s|scale%d|seed%d|ctx%d|pf=lt{%s}|%s",
+		p.Name, o.Scale, seed, ctx, fp(params), covCfgKey(cfg))
+	return runner.Task[sim.Coverage]{Key: key, Run: func() (sim.Coverage, error) {
+		if cfg.DeadTimes != nil {
+			return sim.Coverage{}, errDeadTimesSink
+		}
+		m, err := o.materialized(s, p, seed)
+		if err != nil {
+			return sim.Coverage{}, err
+		}
+		src := trace.Offset(m.Cursor(), mem.Addr(uint64(ctx))<<32, uint8(ctx))
+		return sim.RunCoverage(src, core.MustNew(sim.PaperL1D(), params), cfg)
 	}}
 }
 
@@ -330,6 +355,15 @@ func (o Options) mixedCoverageCell(s *runner.Scheduler, subject, partner workloa
 // coverage engine: every program gets a private cache hierarchy (its
 // shard), with predictor state either shared across contexts or
 // partitioned per context.
+//
+// The two modes execute differently. Shared state needs the global
+// interleaved reference order, so the mix is consolidated and driven
+// through sim.Run serially. Partitioned shards are each exactly a
+// standalone run of their context's stream, so the cell decomposes into
+// per-context shard cells (quantum-independent, deduplicated across
+// mixes) fanned out over Options.Workers nested workers and merged
+// deterministically — the cell's Weight declares that fan-out to the
+// scheduler. Both paths produce byte-identical results at any Workers.
 func (o Options) consolCoverageCell(s *runner.Scheduler, progs []workload.ConsolProgram, shared bool, params core.Params) runner.Task[sim.ShardedCoverage] {
 	names := make([]string, len(progs))
 	quanta := make([]uint64, len(progs))
@@ -339,7 +373,22 @@ func (o Options) consolCoverageCell(s *runner.Scheduler, progs []workload.Consol
 	}
 	key := fmt.Sprintf("consolcov|scale%d|seed%d|mix=%s|q=%v|shared=%t|pf=lt{%s}",
 		o.Scale, o.seed(), strings.Join(names, "+"), quanta, shared, fp(params))
-	return runner.Task[sim.ShardedCoverage]{Key: key, Run: func() (sim.ShardedCoverage, error) {
+	weight := 1
+	if !shared && o.workers() > 1 {
+		weight = min(o.workers(), len(progs))
+	}
+	return runner.Task[sim.ShardedCoverage]{Key: key, Weight: weight, Run: func() (sim.ShardedCoverage, error) {
+		if !shared {
+			tasks := make([]runner.Task[sim.Coverage], len(progs))
+			for i, p := range progs {
+				tasks[i] = o.shardCoverageCell(s, p.Preset, i, params, sim.Config{})
+			}
+			covs, err := runner.AllNested(s, tasks, o.workers())
+			if err != nil {
+				return sim.ShardedCoverage{}, err
+			}
+			return sim.MergeShards(covs), nil
+		}
 		srcs, quanta, err := o.consolCursors(s, progs)
 		if err != nil {
 			return sim.ShardedCoverage{}, err
@@ -348,9 +397,9 @@ func (o Options) consolCoverageCell(s *runner.Scheduler, progs []workload.Consol
 		if err != nil {
 			return sim.ShardedCoverage{}, err
 		}
-		return sim.RunCoverageSharded(src,
+		return sim.Run(src,
 			func(int) sim.Prefetcher { return core.MustNew(sim.PaperL1D(), params) },
-			sim.ShardedConfig{Contexts: len(progs), SharedPredictor: shared})
+			sim.Config{Contexts: len(progs), SharedState: true})
 	}}
 }
 

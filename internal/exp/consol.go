@@ -59,7 +59,7 @@ func runConsol(o Options) (*Report, error) {
 			progs = append(progs, workload.ConsolProgram{Preset: p, Quantum: quantum(p)})
 			if _, seen := soloIdx[name]; !seen {
 				soloIdx[name] = len(soloTasks)
-				soloTasks = append(soloTasks, o.ltCoverageCell(s, p, core.DefaultParams(), sim.CoverageConfig{}))
+				soloTasks = append(soloTasks, o.ltCoverageCell(s, p, core.DefaultParams(), sim.Config{}))
 			}
 		}
 		mixTasks = append(mixTasks,

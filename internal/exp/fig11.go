@@ -72,7 +72,7 @@ func runFig11(o Options) (*Report, error) {
 		if !ok {
 			return nil, fmt.Errorf("fig11: missing preset %s", name)
 		}
-		soloTasks = append(soloTasks, o.ltCoverageCell(s, subject, core.DefaultParams(), sim.CoverageConfig{}))
+		soloTasks = append(soloTasks, o.ltCoverageCell(s, subject, core.DefaultParams(), sim.Config{}))
 		for _, partnerName := range fig11Pairs[name] {
 			partner, ok := workload.ByName(partnerName)
 			if !ok {

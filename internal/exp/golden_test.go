@@ -21,12 +21,17 @@ func checkGolden(t *testing.T, id, want string) {
 	if testing.Short() {
 		t.Skipf("%s golden fingerprint is not short", id)
 	}
+	// Cell parallelism and intra-run workers are independent knobs; the
+	// report must be byte-identical across both (serial/serial through
+	// parallel/parallel).
 	for _, par := range []int{1, 8} {
-		rendered := renderAt(t, id, nil, par)
-		sum := sha256.Sum256([]byte(rendered))
-		if got := hex.EncodeToString(sum[:]); got != want {
-			t.Errorf("%s (parallelism %d): report fingerprint %s, pinned %s\nreport:\n%s",
-				id, par, got, want, rendered)
+		for _, workers := range []int{1, 8} {
+			rendered := renderAt(t, id, nil, par, workers)
+			sum := sha256.Sum256([]byte(rendered))
+			if got := hex.EncodeToString(sum[:]); got != want {
+				t.Errorf("%s (parallelism %d, workers %d): report fingerprint %s, pinned %s\nreport:\n%s",
+					id, par, workers, got, want, rendered)
+			}
 		}
 	}
 }

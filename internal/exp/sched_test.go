@@ -9,13 +9,13 @@ import (
 	"repro/internal/workload"
 )
 
-// renderAt runs an experiment at the given parallelism and returns the
-// rendered report bytes.
-func renderAt(t *testing.T, id string, benches []string, par int) string {
+// renderAt runs an experiment at the given cell parallelism and intra-run
+// worker count and returns the rendered report bytes.
+func renderAt(t *testing.T, id string, benches []string, par, workers int) string {
 	t.Helper()
-	rep, err := Run(id, Options{Scale: workload.Small, Benchmarks: benches, Parallelism: par})
+	rep, err := Run(id, Options{Scale: workload.Small, Benchmarks: benches, Parallelism: par, Workers: workers})
 	if err != nil {
-		t.Fatalf("%s (parallelism %d): %v", id, par, err)
+		t.Fatalf("%s (parallelism %d, workers %d): %v", id, par, workers, err)
 	}
 	var sb strings.Builder
 	rep.Render(&sb)
@@ -23,8 +23,9 @@ func renderAt(t *testing.T, id string, benches []string, par int) string {
 }
 
 // TestParallelDeterminism asserts the tentpole guarantee: the same seed
-// produces byte-identical reports at parallelism 1 and 8 (deterministic
-// cells plus ordered reduction).
+// produces byte-identical reports at parallelism 1 and 8 and at intra-run
+// Workers 1 and 8 (deterministic cells plus ordered reduction plus the
+// deterministic shard merge).
 func TestParallelDeterminism(t *testing.T) {
 	ids := IDs()
 	benches := []string{"swim", "mcf"}
@@ -33,10 +34,10 @@ func TestParallelDeterminism(t *testing.T) {
 		benches = []string{"swim"}
 	}
 	for _, id := range ids {
-		serial := renderAt(t, id, benches, 1)
-		parallel := renderAt(t, id, benches, 8)
+		serial := renderAt(t, id, benches, 1, 1)
+		parallel := renderAt(t, id, benches, 8, 8)
 		if serial != parallel {
-			t.Errorf("%s: parallelism 1 and 8 reports differ:\n--- serial ---\n%s\n--- parallel ---\n%s",
+			t.Errorf("%s: parallelism/workers 1 and 8 reports differ:\n--- serial ---\n%s\n--- parallel ---\n%s",
 				id, serial, parallel)
 		}
 	}

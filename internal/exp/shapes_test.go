@@ -30,7 +30,7 @@ func TestPaperShapes(t *testing.T) {
 		if !ok {
 			t.Fatalf("no preset %s", name)
 		}
-		c, err := sim.RunCoverage(p.Source(o.Scale, o.seed()), pf, sim.CoverageConfig{WithL2: withL2})
+		c, err := sim.RunCoverage(p.Source(o.Scale, o.seed()), pf, sim.Config{WithL2: withL2})
 		if err != nil {
 			t.Fatal(err)
 		}

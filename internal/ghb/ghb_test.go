@@ -113,7 +113,7 @@ func TestCoversRegularStream(t *testing.T) {
 		Base: 0x100000, Bytes: 4 << 20, Stride: 64, Passes: 2, PCBase: 0x10,
 	})
 	pr := MustNew(sim.PaperL1D(), DefaultParams())
-	cov, err := sim.RunCoverage(src, pr, sim.CoverageConfig{WithL2: true})
+	cov, err := sim.RunCoverage(src, pr, sim.Config{WithL2: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -133,7 +133,7 @@ func TestFailsOnShuffledChase(t *testing.T) {
 		Base: 0x100000, Nodes: 16384, NodeSize: 64, ShuffleLayout: true, Iters: 4, PCBase: 0x10, Seed: 9,
 	})
 	pr := MustNew(sim.PaperL1D(), DefaultParams())
-	cov, err := sim.RunCoverage(src, pr, sim.CoverageConfig{})
+	cov, err := sim.RunCoverage(src, pr, sim.Config{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -15,8 +15,12 @@
 // Cell Run functions must be deterministic and self-contained: they build
 // their own trace sources and predictors, and they may submit nested cells
 // through Do (nested cells execute inline in the calling worker, so no
-// worker is ever parked waiting for a free slot). Cached results are
-// shared between all consumers of a key and must be treated as immutable.
+// worker is ever parked waiting for a free slot) or fan them out through
+// MapNested/AllNested. Cells that run intra-cell workers declare a Weight:
+// Map admits cells against a token budget of Parallelism, so cell-level
+// and intra-run parallelism share one CPU budget instead of
+// oversubscribing. Cached results are shared between all consumers of a
+// key and must be treated as immutable.
 package runner
 
 import (
@@ -35,6 +39,14 @@ type Cell struct {
 	Key string
 	// Run computes the cell's value. It must be deterministic.
 	Run func() (any, error)
+	// Weight declares the cell's CPU demand in scheduler admission tokens
+	// (0 counts as 1). A cell that fans out intra-cell workers (via
+	// MapNested/AllNested) declares how many of the scheduler's workers it
+	// occupies, so cell-level and intra-run parallelism share one CPU
+	// budget instead of oversubscribing. Weights are clamped to the
+	// scheduler's capacity; Weight only gates admission through Map —
+	// a direct Do never blocks.
+	Weight int
 }
 
 // Stats counts cell traffic through a scheduler.
@@ -82,6 +94,13 @@ type Scheduler struct {
 	mu    sync.Mutex
 	cells map[string]*entry
 	stats Stats
+
+	// Weighted admission: Map holds avail tokens (capacity = workers)
+	// while a cell runs, weighted by Cell.Weight, so heavy cells that fan
+	// out intra-cell workers reserve their share of the one CPU budget.
+	admitMu sync.Mutex
+	admit   *sync.Cond
+	avail   int
 }
 
 // New creates a scheduler. parallelism <= 0 selects GOMAXPROCS workers.
@@ -89,7 +108,37 @@ func New(parallelism int) *Scheduler {
 	if parallelism <= 0 {
 		parallelism = runtime.GOMAXPROCS(0)
 	}
-	return &Scheduler{workers: parallelism, cells: map[string]*entry{}}
+	s := &Scheduler{workers: parallelism, cells: map[string]*entry{}, avail: parallelism}
+	s.admit = sync.NewCond(&s.admitMu)
+	return s
+}
+
+// acquire claims w admission tokens, blocking until they free up, and
+// returns the clamped weight to release. Clamping to capacity makes the
+// scheme deadlock-free: any single cell can always eventually be
+// admitted, whatever its declared weight.
+func (s *Scheduler) acquire(w int) int {
+	if w < 1 {
+		w = 1
+	}
+	if w > s.workers {
+		w = s.workers
+	}
+	s.admitMu.Lock()
+	for s.avail < w {
+		s.admit.Wait()
+	}
+	s.avail -= w
+	s.admitMu.Unlock()
+	return w
+}
+
+// release returns tokens claimed by acquire.
+func (s *Scheduler) release(w int) {
+	s.admitMu.Lock()
+	s.avail += w
+	s.admitMu.Unlock()
+	s.admit.Broadcast()
 }
 
 // Parallelism returns the worker count.
@@ -133,16 +182,37 @@ func (s *Scheduler) Do(c Cell) (any, error) {
 
 // Map executes a batch of cells across the worker pool and returns their
 // values in submission order (the ordered reduction that keeps reports
-// deterministic). The first failing cell — first in submission order among
-// those that ran — aborts the batch: workers stop claiming new cells and
-// its error is returned. Cells already in flight run to completion and
-// stay cached.
+// deterministic). Each cell's Weight is acquired from the scheduler's
+// admission tokens before it runs — an all-weight-1 batch behaves exactly
+// as a plain worker pool, while a heavy cell (one that fans out
+// MapNested workers) holds its share of the budget so the machine is
+// never oversubscribed. The first failing cell — first in submission
+// order among those that ran — aborts the batch: workers stop claiming
+// new cells and its error is returned. Cells already in flight run to
+// completion and stay cached.
 func (s *Scheduler) Map(cells []Cell) ([]any, error) {
+	return s.mapPool(cells, s.workers, true)
+}
+
+// MapNested executes cells on up to n goroutines inside a running cell,
+// without touching the scheduler's admission tokens: the calling cell's
+// Weight already reserved the CPU budget its nested workers consume.
+// Nested cells are still memoized through Do, so shards shared between
+// outer cells (consolidation mixes that are prefixes of each other)
+// execute once. Results return in submission order.
+func (s *Scheduler) MapNested(cells []Cell, n int) ([]any, error) {
+	return s.mapPool(cells, n, false)
+}
+
+// mapPool is the shared worker-pool body of Map and MapNested.
+func (s *Scheduler) mapPool(cells []Cell, workers int, admit bool) ([]any, error) {
 	out := make([]any, len(cells))
 	errs := make([]error, len(cells))
-	workers := s.workers
 	if workers > len(cells) {
 		workers = len(cells)
+	}
+	if workers < 1 {
+		workers = 1
 	}
 	var next atomic.Int64
 	var failed atomic.Bool
@@ -156,7 +226,13 @@ func (s *Scheduler) Map(cells []Cell) ([]any, error) {
 				if i >= len(cells) || failed.Load() {
 					return
 				}
-				out[i], errs[i] = s.Do(cells[i])
+				if admit {
+					held := s.acquire(cells[i].Weight)
+					out[i], errs[i] = s.Do(cells[i])
+					s.release(held)
+				} else {
+					out[i], errs[i] = s.Do(cells[i])
+				}
 				if errs[i] != nil {
 					failed.Store(true)
 				}
@@ -176,13 +252,15 @@ func (s *Scheduler) Map(cells []Cell) ([]any, error) {
 type Task[T any] struct {
 	Key string
 	Run func() (T, error)
+	// Weight is the cell's admission-token demand (see Cell.Weight).
+	Weight int
 }
 
 // erase wraps typed tasks as Cells.
 func erase[T any](tasks []Task[T], cells []Cell) []Cell {
 	for _, t := range tasks {
 		run := t.Run
-		cells = append(cells, Cell{Key: t.Key, Run: func() (any, error) { return run() }})
+		cells = append(cells, Cell{Key: t.Key, Run: func() (any, error) { return run() }, Weight: t.Weight})
 	}
 	return cells
 }
@@ -205,6 +283,17 @@ func assert[T any](tasks []Task[T], vals []any) ([]T, error) {
 // results in submission order.
 func All[T any](s *Scheduler, tasks []Task[T]) ([]T, error) {
 	vals, err := s.Map(erase(tasks, make([]Cell, 0, len(tasks))))
+	if err != nil {
+		return nil, err
+	}
+	return assert(tasks, vals)
+}
+
+// AllNested executes typed tasks on up to n goroutines inside a running
+// cell (see MapNested): no admission tokens are taken, the caller's
+// Weight covers them.
+func AllNested[T any](s *Scheduler, tasks []Task[T], n int) ([]T, error) {
+	vals, err := s.MapNested(erase(tasks, make([]Cell, 0, len(tasks))), n)
 	if err != nil {
 		return nil, err
 	}

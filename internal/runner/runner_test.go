@@ -247,6 +247,112 @@ func TestAllTypeMismatch(t *testing.T) {
 	}
 }
 
+// TestWeightedAdmission: a heavy cell's Weight reserves admission tokens,
+// so the combined concurrency of light cells running beside it never
+// exceeds the scheduler's capacity minus the reserved share.
+func TestWeightedAdmission(t *testing.T) {
+	const capacity = 4
+	s := New(capacity)
+	var inFlight, maxSeen atomic.Int64
+	weight := func(key string, w, claim int) Cell {
+		return Cell{Key: key, Weight: w, Run: func() (any, error) {
+			cur := inFlight.Add(int64(claim))
+			for {
+				prev := maxSeen.Load()
+				if cur <= prev || maxSeen.CompareAndSwap(prev, cur) {
+					break
+				}
+			}
+			inFlight.Add(int64(-claim))
+			return nil, nil
+		}}
+	}
+	cells := []Cell{weight("heavy", 3, 3)}
+	for i := 0; i < 24; i++ {
+		cells = append(cells, weight(fmt.Sprintf("light%d", i), 1, 1))
+	}
+	if _, err := s.Map(cells); err != nil {
+		t.Fatal(err)
+	}
+	if got := maxSeen.Load(); got > capacity {
+		t.Errorf("peak claimed weight %d exceeds capacity %d", got, capacity)
+	}
+}
+
+// TestWeightClamped: a weight beyond capacity is admitted anyway
+// (deadlock freedom) and over-releases nothing.
+func TestWeightClamped(t *testing.T) {
+	s := New(2)
+	cells := []Cell{
+		{Key: "w9", Weight: 9, Run: func() (any, error) { return 1, nil }},
+		{Key: "w0", Weight: -1, Run: func() (any, error) { return 2, nil }},
+	}
+	vals, err := s.Map(cells)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vals[0].(int) != 1 || vals[1].(int) != 2 {
+		t.Errorf("vals = %v", vals)
+	}
+	s.admitMu.Lock()
+	defer s.admitMu.Unlock()
+	if s.avail != 2 {
+		t.Errorf("avail = %d after batch, want full capacity 2", s.avail)
+	}
+}
+
+// TestMapNested: nested fan-out inside a running cell takes no admission
+// tokens, dedupes through the cache, and keeps submission order.
+func TestMapNested(t *testing.T) {
+	s := New(2)
+	var inner atomic.Int64
+	outer := Cell{Key: "outer", Weight: 2, Run: func() (any, error) {
+		tasks := make([]Task[int], 8)
+		for i := range tasks {
+			i := i
+			tasks[i] = Task[int]{Key: fmt.Sprintf("shard%d", i%4), Run: func() (int, error) {
+				inner.Add(1)
+				return i % 4, nil
+			}}
+		}
+		vals, err := AllNested(s, tasks, 4)
+		if err != nil {
+			return nil, err
+		}
+		sum := 0
+		for i, v := range vals {
+			if v != i%4 {
+				return nil, fmt.Errorf("vals[%d] = %d", i, v)
+			}
+			sum += v
+		}
+		return sum, nil
+	}}
+	v, err := s.Do(outer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.(int) != 12 {
+		t.Errorf("sum = %v want 12", v)
+	}
+	if inner.Load() != 4 {
+		t.Errorf("nested cells executed %d times, want 4 (deduped)", inner.Load())
+	}
+}
+
+// TestMapNestedError: a nested failure aborts the nested batch and
+// surfaces with the nested cell named.
+func TestMapNestedError(t *testing.T) {
+	s := New(1)
+	_, err := s.MapNested([]Cell{
+		{Key: "ok", Run: func() (any, error) { return nil, nil }},
+		{Key: "nested-bad", Run: func() (any, error) { return nil, errBoom }},
+	}, 2)
+	if !errors.Is(err, errBoom) || !strings.Contains(err.Error(), "nested-bad") {
+		t.Errorf("err = %v", err)
+	}
+}
+
 func TestDefaultParallelism(t *testing.T) {
 	if got := New(0).Parallelism(); got < 1 {
 		t.Errorf("parallelism = %d", got)

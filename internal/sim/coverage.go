@@ -9,8 +9,12 @@ import (
 	"repro/internal/trace"
 )
 
-// CoverageConfig parameterizes a trace-driven coverage run.
-type CoverageConfig struct {
+// Config parameterizes a coverage run: the cache hierarchy every shard
+// instantiates, plus the run topology (shard count, predictor-state
+// sharing, intra-run worker count). RunCoverage is the single-hierarchy
+// special case (one shard consuming the whole stream); Run is the sharded
+// multi-context engine, and both consume the same Config.
+type Config struct {
 	// L1 is the L1D configuration (default: PaperL1D).
 	L1 cache.Config
 	// L2 is the L2 configuration; WithL2 enables the second level so that
@@ -19,12 +23,37 @@ type CoverageConfig struct {
 	WithL2 bool
 	// DeadTimes, when non-nil, collects the shadow cache's eviction
 	// dead-times (instruction-clock delta between last touch and eviction)
-	// for the Figure 2 analysis.
+	// for the Figure 2 analysis. The histogram is not synchronized, so a
+	// run with a DeadTimes sink stays serial regardless of Workers.
 	DeadTimes *stats.Log2Histogram
+
+	// Contexts is the shard count for Run: references must carry Ctx tags
+	// in [0, Contexts); an out-of-range tag fails the run (no silent
+	// aliasing of contexts). RunCoverage — the single-hierarchy case where
+	// every context shares one cache — rejects Contexts > 1.
+	Contexts int
+	// SharedState, when true, routes every context's references through a
+	// single predictor instance in stream order — consolidated cores
+	// sharing predictor state, the premise of the paper's Figure 11. When
+	// false each shard owns a private predictor (partitioned state), which
+	// makes every shard exactly equivalent to a standalone RunCoverage
+	// over that context's references. Shared state requires the global
+	// stream order, so such runs stay serial regardless of Workers.
+	SharedState bool
+	// Workers bounds the goroutines a single Run or RunShards may use
+	// (0 or 1 = serial). Results are byte-identical at any worker count:
+	// every shard's references are processed in stream order by exactly
+	// one goroutine and the merge folds shards in context order.
+	Workers int
 }
 
+// CoverageConfig is the pre-unification name for Config.
+//
+// Deprecated: use Config.
+type CoverageConfig = Config
+
 // applyDefaults resolves zero-valued cache configurations to the paper's.
-func (cfg *CoverageConfig) applyDefaults() {
+func (cfg *Config) applyDefaults() {
 	if cfg.L1.Size == 0 {
 		cfg.L1 = PaperL1D()
 	}
@@ -134,7 +163,7 @@ func (c Coverage) L2CoveragePct() float64 {
 // whole stream; RunCoverageSharded routes each reference to its context's
 // shard, so the two drivers classify by the exact same rules.
 type covShard struct {
-	cfg              *CoverageConfig
+	cfg              *Config
 	geo              mem.Geometry
 	main, shadow     *cache.Cache
 	mainL2, shadowL2 *cache.Cache
@@ -173,7 +202,7 @@ type covShard struct {
 
 // newCovShard builds one shard's caches and scratch. cfg must already have
 // defaults applied; it is shared between shards and must not be mutated.
-func newCovShard(cfg *CoverageConfig, pf Prefetcher) (*covShard, error) {
+func newCovShard(cfg *Config, pf Prefetcher) (*covShard, error) {
 	s := &covShard{cfg: cfg, pf: pf}
 	var err error
 	if s.main, err = cache.New(cfg.L1); err != nil {
@@ -388,8 +417,17 @@ func (s *covShard) finish() Coverage {
 }
 
 // RunCoverage drives src through an L1D with the predictor attached and a
-// shadow L1D without it, classifying every base-system miss.
-func RunCoverage(src trace.Source, pf Prefetcher, cfg CoverageConfig) (Coverage, error) {
+// shadow L1D without it, classifying every base-system miss. It is the
+// single-hierarchy special case of Run: one shard consumes the whole
+// stream, so every context shares the caches and the predictor (the
+// paper's Figure 11 setup), and the classification still splits per
+// context into PerCtx. Multi-shard topologies (cfg.Contexts > 1) go
+// through Run; cfg.Workers is irrelevant here (one shard is one
+// goroutine's worth of strictly ordered work).
+func RunCoverage(src trace.Source, pf Prefetcher, cfg Config) (Coverage, error) {
+	if cfg.Contexts > 1 {
+		return Coverage{}, fmt.Errorf("sim: RunCoverage is the single-shard case; use Run for %d contexts", cfg.Contexts)
+	}
 	cfg.applyDefaults()
 	sh, err := newCovShard(&cfg, pf)
 	if err != nil {

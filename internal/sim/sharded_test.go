@@ -139,6 +139,140 @@ func TestSharedPredictorMode(t *testing.T) {
 	}
 }
 
+// TestShardedParallelEquivalence pins the tentpole guarantee: the
+// parallel demux (Run at Workers > 1) and the per-context-source path
+// (RunShards) both produce results byte-identical to the serial sharded
+// run — which TestShardedEquivalence in turn pins to the per-Ctx-filtered
+// monolithic runs — at any worker count. Runs under -race to catch
+// sharing bugs between the pump, the shard workers and the merge.
+func TestShardedParallelEquivalence(t *testing.T) {
+	limit := uint64(400_000)
+	if testing.Short() {
+		limit = 120_000
+	}
+	refs := consolStream(t, limit)
+	const contexts = 4
+
+	serial, err := sim.Run(trace.NewSliceSource(refs), newLT, sim.Config{Contexts: contexts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 3, 4, 8} {
+		par, err := sim.Run(trace.NewSliceSource(refs), newLT,
+			sim.Config{Contexts: contexts, Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(par, serial) {
+			t.Errorf("Workers=%d: parallel demux diverges from serial run", workers)
+		}
+	}
+
+	// Per-context sources: the Ctx-filtered subsequences are exactly what
+	// the demux routes to each shard, so RunShards over them must
+	// reproduce the same result — serially and in parallel.
+	srcs := make([]trace.Source, contexts)
+	for ctx := range srcs {
+		srcs[ctx] = trace.NewSliceSource(filterCtx(refs, uint8(ctx)))
+	}
+	for _, workers := range []int{1, 3} {
+		for ctx := range srcs {
+			srcs[ctx] = trace.NewSliceSource(filterCtx(refs, uint8(ctx)))
+		}
+		sharded, err := sim.RunShards(srcs, newLT, sim.Config{Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(sharded, serial) {
+			t.Errorf("RunShards Workers=%d diverges from serial interleaved run", workers)
+		}
+	}
+
+	// WithL2 exercises the per-shard L2 pairs under the parallel demux.
+	l2serial, err := sim.Run(trace.NewSliceSource(refs), newLT,
+		sim.Config{WithL2: true, Contexts: contexts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l2par, err := sim.Run(trace.NewSliceSource(refs), newLT,
+		sim.Config{WithL2: true, Contexts: contexts, Workers: contexts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(l2par, l2serial) {
+		t.Error("WithL2 parallel demux diverges from serial run")
+	}
+}
+
+// TestShardedSparseContexts: a mix whose streams skip context indices
+// (here ctx 1 of 3 never appears) must merge correctly — the regression
+// the dense-0..N-1 assumption in the old merge invited.
+func TestShardedSparseContexts(t *testing.T) {
+	// Keep only contexts 0 and 2 of the 4-program stream: with Contexts=3
+	// that leaves a hole at index 1.
+	full := consolStream(t, 150_000)
+	var refs []trace.Ref
+	for _, r := range full {
+		if r.Ctx == 0 || r.Ctx == 2 {
+			refs = append(refs, r)
+		}
+	}
+	for _, workers := range []int{1, 3} {
+		sc, err := sim.Run(trace.NewSliceSource(refs), newLT,
+			sim.Config{Contexts: 3, Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sc.Refs != uint64(len(refs)) {
+			t.Fatalf("workers=%d: merged refs = %d want %d", workers, sc.Refs, len(refs))
+		}
+		if sc.Predictor == "" {
+			t.Errorf("workers=%d: merged Predictor empty on a sparse mix", workers)
+		}
+		if sc.Shards[1].Refs != 0 || sc.PerCtx[1] != (sim.CtxCoverage{}) {
+			t.Errorf("workers=%d: skipped context 1 accumulated state: %+v", workers, sc.Shards[1])
+		}
+		if sc.Shards[0].Refs == 0 || sc.Shards[2].Refs == 0 {
+			t.Errorf("workers=%d: populated contexts empty: %d/%d refs", workers, sc.Shards[0].Refs, sc.Shards[2].Refs)
+		}
+		if got := sc.Shards[0].Refs + sc.Shards[2].Refs; got != sc.Refs {
+			t.Errorf("workers=%d: shard refs %d don't sum to merged %d", workers, got, sc.Refs)
+		}
+	}
+
+	// MergeShards directly: an empty leading shard must not blank the
+	// merged predictor name, and sums must skip nothing.
+	merged := sim.MergeShards([]sim.Coverage{{}, {Predictor: "x", Refs: 5, CtxCoverage: sim.CtxCoverage{Opportunity: 3, Correct: 2}}})
+	if merged.Predictor != "x" || merged.Refs != 5 || merged.Opportunity != 3 {
+		t.Errorf("MergeShards sparse = %+v", merged.Coverage)
+	}
+	if merged.PerCtx[0] != (sim.CtxCoverage{}) || merged.PerCtx[1].Correct != 2 {
+		t.Errorf("MergeShards PerCtx = %+v", merged.PerCtx)
+	}
+}
+
+// TestRunShardsGuards: mistagged sources, shared state and context-count
+// mismatches fail loudly.
+func TestRunShardsGuards(t *testing.T) {
+	one := []trace.Ref{{Addr: 0x1000, Ctx: 0}}
+	if _, err := sim.RunShards([]trace.Source{trace.NewSliceSource(one)}, newLT,
+		sim.Config{SharedState: true}); err == nil {
+		t.Error("SharedState must be rejected (needs interleaved order)")
+	}
+	if _, err := sim.RunShards([]trace.Source{trace.NewSliceSource(one)}, newLT,
+		sim.Config{Contexts: 2}); err == nil {
+		t.Error("Contexts mismatching len(srcs) must be rejected")
+	}
+	if _, err := sim.RunShards(nil, newLT, sim.Config{}); err == nil {
+		t.Error("zero sources must be rejected")
+	}
+	// Source 1 yields a ctx-0 reference: mistagged.
+	bad := []trace.Source{trace.NewSliceSource(one), trace.NewSliceSource(one)}
+	if _, err := sim.RunShards(bad, newLT, sim.Config{}); err == nil || !strings.Contains(err.Error(), "shard 1") {
+		t.Errorf("mistagged source: err = %v, want shard named", err)
+	}
+}
+
 // TestShardedCtxGuards: out-of-range context tags and shard counts fail
 // loudly instead of aliasing into the wrong shard.
 func TestShardedCtxGuards(t *testing.T) {

@@ -1,0 +1,105 @@
+package sim
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/trace"
+)
+
+// RunShards executes a partitioned sharded run from per-context sources
+// instead of one interleaved stream: srcs[i] must yield context i's
+// complete reference stream in program order, already tagged Ctx=i
+// (typically trace.Offset over a materialized component cursor, exactly
+// as workload.ConsolidateFrom tags the components of a mix). Because
+// quantum interleaving with unlimited switches preserves every
+// component's references in order, the result is byte-identical to Run
+// over the interleaved mix with partitioned predictor state — for any
+// quanta — while each shard pulls from its own independent cursor, so
+// shards need no demultiplexing and parallelize perfectly.
+//
+// cfg.Contexts, when set, must equal len(srcs). Shared predictor state
+// needs the interleaved stream order and a DeadTimes sink is
+// unsynchronized; RunShards rejects the former and runs serially for the
+// latter. When cfg.Workers > 1, newPF and the sources must be safe to
+// use from concurrent goroutines (independent cursors are; one source
+// must not feed two shards).
+func RunShards(srcs []trace.Source, newPF func(ctx int) Prefetcher, cfg Config) (ShardedCoverage, error) {
+	if len(srcs) < 1 || len(srcs) > MaxShards {
+		return ShardedCoverage{}, fmt.Errorf("sim: %d shard sources outside the supported 1..%d (trace.Ref.Ctx is uint8)",
+			len(srcs), MaxShards)
+	}
+	if cfg.SharedState {
+		return ShardedCoverage{}, fmt.Errorf("sim: shared predictor state needs the interleaved stream order; use Run")
+	}
+	if cfg.Contexts != 0 && cfg.Contexts != len(srcs) {
+		return ShardedCoverage{}, fmt.Errorf("sim: cfg.Contexts = %d but %d shard sources", cfg.Contexts, len(srcs))
+	}
+	cfg.Contexts = len(srcs)
+	cfg.applyDefaults()
+
+	workers := cfg.Workers
+	if cfg.DeadTimes != nil {
+		workers = 1
+	}
+	if workers > len(srcs) {
+		workers = len(srcs)
+	}
+	finished := make([]Coverage, len(srcs))
+	errs := make([]error, len(srcs))
+	if workers <= 1 {
+		refBuf := make([]trace.Ref, trace.DefaultBatch)
+		for i, src := range srcs {
+			finished[i], errs[i] = runShard(i, src, newPF(i), &cfg, refBuf)
+		}
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				refBuf := make([]trace.Ref, trace.DefaultBatch)
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= len(srcs) {
+						return
+					}
+					finished[i], errs[i] = runShard(i, srcs[i], newPF(i), &cfg, refBuf)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	for _, err := range errs {
+		if err != nil {
+			return ShardedCoverage{}, err
+		}
+	}
+	return MergeShards(finished), nil
+}
+
+// runShard drives one context's private stream through its shard,
+// guarding that every reference really carries the shard's tag (a
+// mistagged source would silently fold a foreign program into this
+// context's classification).
+func runShard(ctx int, src trace.Source, pf Prefetcher, cfg *Config, refBuf []trace.Ref) (Coverage, error) {
+	sh, err := newCovShard(cfg, pf)
+	if err != nil {
+		return Coverage{}, err
+	}
+	for {
+		n := src.ReadRefs(refBuf)
+		if n == 0 {
+			break
+		}
+		for i := 0; i < n; i++ {
+			if int(refBuf[i].Ctx) != ctx {
+				return Coverage{}, fmt.Errorf("sim: shard %d source yielded a context-%d reference", ctx, refBuf[i].Ctx)
+			}
+		}
+		sh.stepBatch(refBuf[:n])
+	}
+	return sh.finish(), nil
+}

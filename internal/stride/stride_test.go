@@ -77,7 +77,7 @@ func TestCoversStream(t *testing.T) {
 		Base: 0x100000, Bytes: 2 << 20, Stride: 64, Passes: 2, PCBase: 0x10,
 	})
 	pr := MustNew(sim.PaperL1D(), DefaultParams())
-	cov, err := sim.RunCoverage(src, pr, sim.CoverageConfig{})
+	cov, err := sim.RunCoverage(src, pr, sim.Config{})
 	if err != nil {
 		t.Fatal(err)
 	}

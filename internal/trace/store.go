@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math/bits"
 	"os"
+	"sync"
 
 	"repro/internal/mem"
 )
@@ -149,11 +150,53 @@ func (m *Materialized) chunk(i int) []byte { return m.data[m.offs[i]:m.offs[i+1]
 // concurrently; each is single-goroutine like any Source.
 func (m *Materialized) Cursor() *Cursor { return &Cursor{m: m} }
 
-// Cursor replays a materialized trace. It implements Source; the replay
+// CursorAt returns an independent cursor positioned at the start of chunk
+// i (reference i*RefsPerChunk) and reading through the end of the stream.
+// Every chunk is a delta-reset point, so decoding from any index entry is
+// exact; chunk == Chunks() yields an immediately-exhausted cursor.
+func (m *Materialized) CursorAt(chunk int) (*Cursor, error) {
+	if chunk < 0 || chunk > m.Chunks() {
+		return nil, fmt.Errorf("trace: CursorAt(%d): store has %d chunks", chunk, m.Chunks())
+	}
+	return &Cursor{m: m, chunk: chunk, start: chunk}, nil
+}
+
+// Cursors splits the store into n contiguous chunk ranges and returns one
+// bounded cursor per range: cursor i replays exactly its range's
+// references, and concatenating the outputs in order reproduces the whole
+// stream byte-identically. The per-chunk delta reset makes every range an
+// independent decode entry point, so the cursors may replay concurrently
+// on worker goroutines (chunk-granular parallel replay); any
+// order-insensitive fold over the stream distributes over them. At most
+// Chunks() cursors are returned (never an empty range); n < 1 is treated
+// as 1, and an empty store yields nil.
+func (m *Materialized) Cursors(n int) []*Cursor {
+	chunks := m.Chunks()
+	if n < 1 {
+		n = 1
+	}
+	if n > chunks {
+		n = chunks
+	}
+	if n == 0 {
+		return nil
+	}
+	out := make([]*Cursor, n)
+	for i := range out {
+		lo, hi := i*chunks/n, (i+1)*chunks/n
+		out[i] = &Cursor{m: m, chunk: lo, start: lo, stop: hi}
+	}
+	return out
+}
+
+// Cursor replays a materialized trace, either whole (Cursor, CursorAt) or
+// bounded to a chunk range (Cursors). It implements Source; the replay
 // loop performs no heap allocation.
 type Cursor struct {
 	m        *Materialized
 	chunk    int    // next chunk to load
+	start    int    // first chunk of the cursor's range (Reset target)
+	stop     int    // chunk bound: replay stops before this chunk; 0 = none
 	data     []byte // current chunk's records
 	pos      int    // next record offset within data
 	prevPC   mem.Addr
@@ -161,17 +204,19 @@ type Cursor struct {
 	err      error
 }
 
-// Reset rewinds the cursor to the start of the stream.
-func (c *Cursor) Reset() { *c = Cursor{m: c.m} }
+// Reset rewinds the cursor to the start of its range (the start of the
+// stream for plain Cursor()s; range cursors keep their bounds).
+func (c *Cursor) Reset() { *c = Cursor{m: c.m, chunk: c.start, start: c.start, stop: c.stop} }
 
 // SeekChunk positions the cursor at the start of chunk i (reference
 // i*RefsPerChunk) — each chunk is a delta-reset point, so decoding can
-// start at any index entry.
+// start at any index entry. Seeking clears any range bound: the cursor
+// reads through the end of the stream.
 func (c *Cursor) SeekChunk(i int) error {
 	if i < 0 || i > c.m.Chunks() {
 		return fmt.Errorf("trace: SeekChunk(%d): store has %d chunks", i, c.m.Chunks())
 	}
-	*c = Cursor{m: c.m, chunk: i}
+	*c = Cursor{m: c.m, chunk: i, start: i}
 	return nil
 }
 
@@ -190,7 +235,11 @@ func (c *Cursor) ReadRefs(buf []Ref) int {
 	n := 0
 	for n < len(buf) {
 		if c.pos >= len(c.data) {
-			if c.chunk >= c.m.Chunks() || c.err != nil {
+			end := c.m.Chunks()
+			if c.stop > 0 && c.stop < end {
+				end = c.stop
+			}
+			if c.chunk >= end || c.err != nil {
 				return n
 			}
 			c.data = c.m.chunk(c.chunk)
@@ -338,6 +387,53 @@ func (c *Cursor) Next() (Ref, bool) {
 		return Ref{}, false
 	}
 	return one[0], true
+}
+
+// ReplayStats recomputes the stream statistics by decoding the store,
+// fanning the chunk index out over workers goroutines (each replaying a
+// bounded range cursor from Cursors). Stats are an order-insensitive fold
+// over references, so the result is identical at any worker count; it
+// must equal Stats() — a mismatch on a store opened from a file means the
+// header or data section is corrupt (lttrace -verify drives this). A
+// decode error from any range terminates the pass.
+func (m *Materialized) ReplayStats(workers int) (Stats, error) {
+	curs := m.Cursors(workers)
+	if len(curs) == 0 {
+		return Stats{}, nil
+	}
+	parts := make([]Stats, len(curs))
+	errs := make([]error, len(curs))
+	var wg sync.WaitGroup
+	for i, c := range curs {
+		wg.Add(1)
+		go func(i int, c *Cursor) {
+			defer wg.Done()
+			var buf [DefaultBatch]Ref
+			for {
+				n := c.ReadRefs(buf[:])
+				if n == 0 {
+					break
+				}
+				for j := range buf[:n] {
+					parts[i].Observe(buf[j])
+				}
+			}
+			errs[i] = c.Err()
+		}(i, c)
+	}
+	wg.Wait()
+	var total Stats
+	for i := range parts {
+		if errs[i] != nil {
+			return Stats{}, fmt.Errorf("trace: replaying chunk range %d/%d: %w", i, len(curs), errs[i])
+		}
+		total.Refs += parts[i].Refs
+		total.Loads += parts[i].Loads
+		total.Stores += parts[i].Stores
+		total.Instrs += parts[i].Instrs
+		total.Deps += parts[i].Deps
+	}
+	return total, nil
 }
 
 // The store container format persists the chunk index in the header so a

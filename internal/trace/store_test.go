@@ -136,6 +136,87 @@ func TestCursorResetAndSeek(t *testing.T) {
 	}
 }
 
+// TestCursorAtChunkBoundaries pins chunk-range replay across delta-reset
+// points: a cursor positioned at any chunk boundary decodes exactly the
+// stream tail (the per-chunk delta reset makes every boundary an exact
+// entry point), Cursors(n) ranges partition the stream with no overlap or
+// gap at any n, and range cursors stop at — never read past — their bound.
+func TestCursorAtChunkBoundaries(t *testing.T) {
+	const perChunk = 64
+	refs := randRefs(21, 10*perChunk+17) // last chunk deliberately partial
+	m := MaterializeChunked(NewSliceSource(refs), perChunk)
+
+	// Every boundary, including the terminal one (empty tail).
+	for chunk := 0; chunk <= m.Chunks(); chunk++ {
+		c, err := m.CursorAt(chunk)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lo := chunk * perChunk
+		if lo > len(refs) {
+			lo = len(refs)
+		}
+		if got := replayAll(t, c); !reflect.DeepEqual(got, append([]Ref(nil), refs[lo:]...)) {
+			t.Fatalf("CursorAt(%d): replay diverged from refs[%d:] (%d vs %d refs)",
+				chunk, lo, len(got), len(refs)-lo)
+		}
+	}
+	if _, err := m.CursorAt(-1); err == nil {
+		t.Error("CursorAt(-1) must error")
+	}
+	if _, err := m.CursorAt(m.Chunks() + 1); err == nil {
+		t.Error("CursorAt past the index must error")
+	}
+
+	// Cursors(n) partitions: concatenated ranges reproduce the stream for
+	// n below, at, and beyond the chunk count.
+	for _, n := range []int{1, 2, 3, m.Chunks(), m.Chunks() + 5} {
+		var got []Ref
+		curs := m.Cursors(n)
+		if want := min(n, m.Chunks()); len(curs) != want {
+			t.Fatalf("Cursors(%d) returned %d cursors, want %d", n, len(curs), want)
+		}
+		for _, c := range curs {
+			got = append(got, replayAll(t, c)...)
+		}
+		if !reflect.DeepEqual(got, refs) {
+			t.Fatalf("Cursors(%d): concatenated ranges diverge from the stream", n)
+		}
+	}
+
+	// A range cursor stops at its bound and Reset rewinds to the range
+	// start, not the stream start.
+	curs := m.Cursors(3)
+	mid := replayAll(t, curs[1])
+	if len(mid) == 0 || len(mid) == len(refs) {
+		t.Fatalf("middle range replayed %d refs", len(mid))
+	}
+	curs[1].Reset()
+	if again := replayAll(t, curs[1]); !reflect.DeepEqual(again, mid) {
+		t.Fatal("Reset on a range cursor did not rewind to the range start")
+	}
+}
+
+// TestReplayStats pins the order-insensitive parallel fold: recomputed
+// stats equal the encode-time stats at every worker count.
+func TestReplayStats(t *testing.T) {
+	refs := randRefs(33, 5000)
+	m := MaterializeChunked(NewSliceSource(refs), 128)
+	for _, workers := range []int{0, 1, 2, 7, 64, 1000} {
+		got, err := m.ReplayStats(workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != m.Stats() {
+			t.Fatalf("ReplayStats(%d) = %+v, encode-time stats %+v", workers, got, m.Stats())
+		}
+	}
+	empty := Materialize(NewSliceSource(nil))
+	if st, err := empty.ReplayStats(4); err != nil || st != (Stats{}) {
+		t.Fatalf("empty ReplayStats = %+v, %v", st, err)
+	}
+}
+
 func TestStoreFileRoundTrip(t *testing.T) {
 	refs := randRefs(17, 4096)
 	m := MaterializeChunked(NewSliceSource(refs), 333)

@@ -7,6 +7,12 @@
 //   - a zero-alloc benchmark (0 allocs/op in the old snapshot) must stay
 //     at 0 allocs/op, and its B/op — the amortized setup bytes — may only
 //     go down;
+//   - the three steady-state benchmarks with a known residual-byte
+//     budget instead have their B/op pinned to an absolute ceiling
+//     (residualPins, plus a small jitter allowance): the bytes are the
+//     predictor's lazily-populated sequence-store frames (DESIGN.md §7),
+//     and the pin keeps that residual from ratcheting upward across PRs
+//     even if a snapshot refresh would otherwise re-baseline it;
 //   - an allocating benchmark (the whole-run wall-time entries) may not
 //     grow its allocs/op or B/op beyond the same allowed percentage.
 //
@@ -112,20 +118,48 @@ func main() {
 	os.Exit(run())
 }
 
+// residualPins are absolute B/op ceilings for the zero-alloc
+// steady-state benchmarks, pinned to their measured residuals: the bytes
+// are not loop churn but the LT-cords predictor lazily populating its
+// modeled off-chip sequence store (per-frame fragment buffers allocated
+// on first record into a frame), amortized over the iteration count —
+// see DESIGN.md §7 for the accounting. Anchoring the exact values here
+// means a snapshot refresh can never quietly re-baseline a larger
+// residual; a pinned benchmark is exempt from the relative only-go-down
+// rule (the absolute ceiling subsumes it and, unlike the snapshot
+// comparison, cannot ratchet). The amortized figure shifts by a byte or
+// two with the iteration count the benchmark scheduler picks, so the
+// check allows residualSlack on top of the pin.
+var residualPins = map[string]int64{
+	"BenchmarkCoverage":                8,
+	"BenchmarkCoverageShardedParallel": 10,
+	"BenchmarkTimingModel":             11,
+}
+
+// residualSlack absorbs b.N-dependent amortization jitter on the pinned
+// residuals (fewer iterations on a slow run divide the same one-time
+// state-population bytes by a smaller count).
+const residualSlack = 2
+
 // check applies the regression policy to one benchmark, returning the
 // violations (empty = pass).
-func check(o, n result, maxRegress float64) []string {
+func check(name string, o, n result, maxRegress float64) []string {
 	var fails []string
 	if delta := (n.NsPerOp - o.NsPerOp) / o.NsPerOp * 100; delta > maxRegress {
 		fails = append(fails, fmt.Sprintf("ns/op +%.1f%%", delta))
 	}
 	if o.AllocsPerOp == 0 {
 		// A pinned zero-alloc benchmark: stays zero-alloc, and its
-		// amortized setup bytes may only go down.
+		// amortized setup bytes may only go down — unless it carries an
+		// absolute residual pin, which replaces the relative rule.
 		if n.AllocsPerOp != 0 {
 			fails = append(fails, fmt.Sprintf("allocs/op %d, want 0", n.AllocsPerOp))
 		}
-		if o.BytesPerOp >= 0 && n.BytesPerOp > o.BytesPerOp {
+		if pin, ok := residualPins[name]; ok {
+			if n.BytesPerOp > pin+residualSlack {
+				fails = append(fails, fmt.Sprintf("B/op %d exceeds the pinned residual %d+%d (DESIGN.md §7)", n.BytesPerOp, pin, residualSlack))
+			}
+		} else if o.BytesPerOp >= 0 && n.BytesPerOp > o.BytesPerOp {
 			fails = append(fails, fmt.Sprintf("B/op %d -> %d, pinned to only go down", o.BytesPerOp, n.BytesPerOp))
 		}
 		return fails
@@ -176,7 +210,7 @@ func run() int {
 			failed = true
 			continue
 		}
-		fails := check(o.res, n, *maxRegress)
+		fails := check(o.name, o.res, n, *maxRegress)
 		status := "ok  "
 		if len(fails) > 0 {
 			status = "FAIL"

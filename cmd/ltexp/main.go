@@ -9,6 +9,8 @@
 //	ltexp -exp consol -workers 8    # intra-run parallelism inside sharded cells
 //	ltexp -exp all -json            # structured output for bench tracking
 //	ltexp -exp table3 -bench mcf,em3d,swim
+//	ltexp -exp all -cache-dir ~/.cache/ltexp   # persistent warm-start cache
+//	ltexp -exp all -cache-dir D -cache ro      # read a shared cache, never write
 //	ltexp -list                     # enumerate experiment ids
 //
 // Experiments are decomposed into simulation cells executed by a worker
@@ -20,6 +22,16 @@
 // scheduler weight, so the two knobs share one CPU budget. Reports are
 // byte-identical at any -parallel and -workers values.
 //
+// -cache-dir extends the cell cache across invocations: results persist
+// in a content-addressed on-disk store (internal/cachedir) keyed by cell
+// kind, canonical configuration fingerprints, stream identity and a
+// code-version stamp, and preset traces persist as mmap-backed LTCX
+// stores, so a repeat invocation executes zero simulations and renders
+// byte-identical reports (the footer and -json envelope carry the
+// counters proving it). -cache selects off|ro|rw, -cache-cap bounds the
+// directory size with LRU eviction. See DESIGN.md §12 for the
+// content-address scheme and invalidation rules.
+//
 // Experiment ids map to the paper artifacts; see DESIGN.md §3.
 package main
 
@@ -30,6 +42,7 @@ import (
 	"os"
 	"strings"
 
+	"repro/internal/cachedir"
 	"repro/internal/exp"
 	"repro/internal/runner"
 	"repro/internal/workload"
@@ -46,6 +59,9 @@ func main() {
 		jsonOut  = flag.Bool("json", false, "emit one JSON envelope instead of text reports")
 		list     = flag.Bool("list", false, "list experiment ids and exit")
 		quiet    = flag.Bool("q", false, "suppress progress output")
+		cacheDir = flag.String("cache-dir", "", "persistent cell/trace cache directory (empty = in-memory only)")
+		cacheMod = flag.String("cache", "rw", "persistent cache mode: off|ro|rw")
+		cacheCap = flag.String("cache-cap", "0", "persistent cache size cap, e.g. 2G (0 = unlimited, LRU eviction)")
 	)
 	flag.Parse()
 
@@ -64,10 +80,30 @@ func main() {
 		fmt.Fprintln(os.Stderr, "ltexp:", err)
 		os.Exit(2)
 	}
+	mode, err := cachedir.ParseMode(*cacheMod)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ltexp:", err)
+		os.Exit(2)
+	}
+	capBytes, err := cachedir.ParseSize(*cacheCap)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ltexp:", err)
+		os.Exit(2)
+	}
+	cdir, err := exp.OpenCache(*cacheDir, mode, capBytes)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ltexp:", err)
+		os.Exit(1)
+	}
 	// One scheduler for the whole invocation: its cell cache spans every
-	// experiment, so figures sharing cells re-simulate nothing.
+	// experiment, so figures sharing cells re-simulate nothing. With
+	// -cache-dir, that in-memory cache becomes a write-through L1 over the
+	// persistent store, which spans invocations.
 	sched := runner.New(*parallel)
-	opts := exp.Options{Scale: sc, Seed: *seed, Parallelism: *parallel, Workers: *workers, Runner: sched}
+	if cdir != nil {
+		sched.SetStore(cdir)
+	}
+	opts := exp.Options{Scale: sc, Seed: *seed, Parallelism: *parallel, Workers: *workers, Runner: sched, Cache: cdir}
 	if *benches != "" {
 		opts.Benchmarks = strings.Split(*benches, ",")
 	}
@@ -96,13 +132,19 @@ func main() {
 	if *jsonOut {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
+		var cc *cachedir.Counters
+		if cdir != nil {
+			snap := cdir.Counters()
+			cc = &snap
+		}
 		if err := enc.Encode(struct {
-			Scale       string        `json:"scale"`
-			Seed        uint64        `json:"seed"`
-			Parallelism int           `json:"parallelism"`
-			Reports     []*exp.Report `json:"reports"`
-			Cells       runner.Stats  `json:"cells"`
-		}{*scale, *seed, sched.Parallelism(), reports, sched.Stats()}); err != nil {
+			Scale       string             `json:"scale"`
+			Seed        uint64             `json:"seed"`
+			Parallelism int                `json:"parallelism"`
+			Reports     []*exp.Report      `json:"reports"`
+			Cells       runner.Stats       `json:"cells"`
+			Cache       *cachedir.Counters `json:"cache,omitempty"`
+		}{*scale, *seed, sched.Parallelism(), reports, sched.Stats(), cc}); err != nil {
 			fmt.Fprintln(os.Stderr, "ltexp:", err)
 			os.Exit(1)
 		}
@@ -111,5 +153,10 @@ func main() {
 		st := sched.Stats()
 		fmt.Fprintf(os.Stderr, "cells: %d submitted, %d simulated, %d cache hits (%.1f%% eliminated)\n",
 			st.Submitted, st.Executed, st.Hits, st.HitRate()*100)
+		if cdir != nil {
+			cc := cdir.Counters()
+			fmt.Fprintf(os.Stderr, "cache(%s): %d disk hits, %d persisted; traces: %d hits, %d stored; %d bad entries repaired, %d evicted (%s)\n",
+				cdir.Mode(), st.DiskHits, st.Persisted, cc.TraceHits, cc.TracePuts, cc.BadEntries, cc.EvictedEntries, cdir.Root())
+		}
 	}
 }

@@ -16,6 +16,13 @@
 // predictor state partitioned per context or (-sharedpred) shared across
 // the mix. -workers parallelizes partitioned shards; results are
 // byte-identical at any worker count.
+//
+// -cache-dir points at the persistent trace cache shared with ltexp
+// (DESIGN.md §12): preset streams materialize once per machine into
+// mmap-backed LTCX stores and replay from disk on every later run.
+// Simulation *results* are deliberately not cached here — ltsim prints
+// predictor internals (the lt-cords counter block) that a memoized
+// result could not reproduce; use ltexp for cached experiment results.
 package main
 
 import (
@@ -26,9 +33,11 @@ import (
 	"runtime/pprof"
 
 	"repro/internal/cache"
+	"repro/internal/cachedir"
 	"repro/internal/core"
 	"repro/internal/cpu"
 	"repro/internal/dbcp"
+	"repro/internal/exp"
 	"repro/internal/ghb"
 	"repro/internal/mem"
 	"repro/internal/sim"
@@ -64,21 +73,23 @@ func main() {
 
 func run() int {
 	var (
-		bench   = flag.String("bench", "mcf", "benchmark preset name")
-		traceIn = flag.String("trace", "", "binary trace file to simulate instead of a preset (see lttrace)")
-		pred    = flag.String("pred", "lt-cords", "predictor: none|lt-cords|dbcp|dbcp-unlimited|ghb|stride")
-		scale   = flag.String("scale", "small", "workload scale: small|medium|large")
-		seed    = flag.Uint64("seed", 1, "workload seed")
-		timing  = flag.Bool("timing", false, "run the cycle timing model instead of trace-driven coverage")
-		l2mb    = flag.Int("l2", 1, "L2 size in MB (timing mode)")
-		withL2  = flag.Bool("withl2", false, "track L2 misses in coverage mode")
-		ctxs    = flag.Int("contexts", 1, "shard count for multi-context traces (coverage mode; >1 selects the sharded engine)")
-		workers = flag.Int("workers", 0, "intra-run worker goroutines for partitioned sharded coverage (0/1 = serial)")
-		shpred  = flag.Bool("sharedpred", false, "share one predictor across contexts (sharded mode; forces serial)")
-		list    = flag.Bool("list", false, "list benchmark presets and exit")
-		perfect = flag.Bool("perfect", false, "perfect L1 (timing mode upper bound)")
-		cpuProf = flag.String("cpuprofile", "", "write a CPU profile of the simulation to this file")
-		memProf = flag.String("memprofile", "", "write a heap profile (taken after the run) to this file")
+		bench    = flag.String("bench", "mcf", "benchmark preset name")
+		traceIn  = flag.String("trace", "", "binary trace file to simulate instead of a preset (see lttrace)")
+		pred     = flag.String("pred", "lt-cords", "predictor: none|lt-cords|dbcp|dbcp-unlimited|ghb|stride")
+		scale    = flag.String("scale", "small", "workload scale: small|medium|large")
+		seed     = flag.Uint64("seed", 1, "workload seed")
+		timing   = flag.Bool("timing", false, "run the cycle timing model instead of trace-driven coverage")
+		l2mb     = flag.Int("l2", 1, "L2 size in MB (timing mode)")
+		withL2   = flag.Bool("withl2", false, "track L2 misses in coverage mode")
+		ctxs     = flag.Int("contexts", 1, "shard count for multi-context traces (coverage mode; >1 selects the sharded engine)")
+		workers  = flag.Int("workers", 0, "intra-run worker goroutines for partitioned sharded coverage (0/1 = serial)")
+		shpred   = flag.Bool("sharedpred", false, "share one predictor across contexts (sharded mode; forces serial)")
+		list     = flag.Bool("list", false, "list benchmark presets and exit")
+		perfect  = flag.Bool("perfect", false, "perfect L1 (timing mode upper bound)")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the simulation to this file")
+		memProf  = flag.String("memprofile", "", "write a heap profile (taken after the run) to this file")
+		cacheDir = flag.String("cache-dir", "", "persistent trace cache directory shared with ltexp (empty = regenerate)")
+		cacheMod = flag.String("cache", "rw", "trace cache mode: off|ro|rw")
 	)
 	flag.Parse()
 
@@ -152,7 +163,27 @@ func run() int {
 			fmt.Fprintln(os.Stderr, "ltsim:", err)
 			return 2
 		}
-		src = p.Source(sc, *seed)
+		if *cacheDir != "" {
+			mode, err := cachedir.ParseMode(*cacheMod)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "ltsim:", err)
+				return 2
+			}
+			cdir, err := exp.OpenCache(*cacheDir, mode, 0)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "ltsim:", err)
+				return 1
+			}
+			m, err := exp.MaterializedTrace(cdir, p, sc, *seed)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "ltsim:", err)
+				return 1
+			}
+			defer m.Close()
+			src = m.Cursor()
+		} else {
+			src = p.Source(sc, *seed)
+		}
 	}
 
 	if *timing {

@@ -19,6 +19,12 @@
 // contiguous chunk range through an independent range cursor, fold the
 // order-insensitive stream statistics, and the merged result must equal
 // the encode-time stats in the header.
+//
+// -record writes are crash-safe: the store is staged in a temp file,
+// fsynced, and atomically renamed over -out (internal/atomicfile), so an
+// interrupted run leaves either the complete old file or the complete
+// new one — never a torn store. The persistent experiment cache
+// (DESIGN.md §12) relies on the same path for its traces tier.
 package main
 
 import (

@@ -1,0 +1,122 @@
+// Command warmcheck is the CI gate for the persistent experiment cache
+// (make warm-check): it runs every experiment twice against a fresh
+// cache directory — a cold pass that populates it and a warm pass with a
+// fresh scheduler and a fresh cache handle, so the disk store is the
+// only state carried over — and fails unless the warm pass
+//
+//   - executes zero simulations (every cell revives from the results
+//     tier, every trace mmaps from the traces tier), and
+//   - renders every report byte-identical to the cold pass.
+//
+// Together those prove the whole contract of DESIGN.md §12: content
+// addresses are stable across processes, the gob/LTCX round trips are
+// exact, and a warm start costs file reads instead of simulations.
+//
+// Usage:
+//
+//	warmcheck                       # all experiments, swim+mcf, small scale
+//	warmcheck -bench "" -exp all    # experiment-default benchmark lists
+//	warmcheck -dir /tmp/c -keep     # inspect the populated cache afterwards
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/cachedir"
+	"repro/internal/exp"
+	"repro/internal/runner"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		expID    = flag.String("exp", "all", "experiment id to check (or 'all')")
+		benches  = flag.String("bench", "swim,mcf", "comma-separated benchmark subset (empty = experiment defaults)")
+		scale    = flag.String("scale", "small", "workload scale")
+		parallel = flag.Int("parallel", 0, "simulation cell workers (0 = GOMAXPROCS)")
+		dir      = flag.String("dir", "", "cache directory to use (default: fresh temp dir)")
+		keep     = flag.Bool("keep", false, "keep the cache directory afterwards")
+	)
+	flag.Parse()
+
+	sc, err := workload.ParseScale(*scale)
+	if err != nil {
+		fail(err)
+	}
+	root := *dir
+	if root == "" {
+		root, err = os.MkdirTemp("", "warmcheck-*")
+		if err != nil {
+			fail(err)
+		}
+	}
+	if !*keep {
+		defer os.RemoveAll(root)
+	}
+	ids := []string{*expID}
+	if *expID == "all" {
+		ids = exp.IDs()
+	}
+	var benchList []string
+	if *benches != "" {
+		benchList = strings.Split(*benches, ",")
+	}
+
+	pass := func(label string) (map[string]string, runner.Stats, cachedir.Counters) {
+		cdir, err := exp.OpenCache(root, cachedir.ReadWrite, 0)
+		if err != nil {
+			fail(err)
+		}
+		sched := runner.New(*parallel)
+		sched.SetStore(cdir)
+		opts := exp.Options{Scale: sc, Benchmarks: benchList, Parallelism: *parallel, Runner: sched, Cache: cdir}
+		out := make(map[string]string, len(ids))
+		for _, id := range ids {
+			rep, err := exp.Run(id, opts)
+			if err != nil {
+				fail(fmt.Errorf("%s pass, %s: %w", label, id, err))
+			}
+			var sb strings.Builder
+			rep.Render(&sb)
+			out[id] = sb.String()
+		}
+		st := sched.Stats()
+		fmt.Fprintf(os.Stderr, "warmcheck: %s pass: %d cells submitted, %d simulated, %d disk hits, %d persisted\n",
+			label, st.Submitted, st.Executed, st.DiskHits, st.Persisted)
+		return out, st, cdir.Counters()
+	}
+
+	cold, coldStats, _ := pass("cold")
+	if coldStats.Executed == 0 {
+		fail(fmt.Errorf("cold pass executed no simulations — check invalidated nothing"))
+	}
+	warm, warmStats, warmC := pass("warm")
+
+	bad := false
+	for _, id := range ids {
+		if cold[id] != warm[id] {
+			bad = true
+			fmt.Fprintf(os.Stderr, "warmcheck: FAIL: %s warm report differs from cold\n", id)
+		}
+	}
+	if warmStats.Executed != 0 {
+		bad = true
+		fmt.Fprintf(os.Stderr, "warmcheck: FAIL: warm pass executed %d simulations, want 0\n", warmStats.Executed)
+	}
+	if warmC.Puts != 0 || warmC.TracePuts != 0 {
+		bad = true
+		fmt.Fprintf(os.Stderr, "warmcheck: FAIL: warm pass wrote %d result + %d trace entries, want 0\n", warmC.Puts, warmC.TracePuts)
+	}
+	if bad {
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "warmcheck: OK: %d experiments byte-identical warm, 0 simulations executed\n", len(ids))
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "warmcheck:", err)
+	os.Exit(1)
+}

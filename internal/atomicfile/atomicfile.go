@@ -1,0 +1,74 @@
+// Package atomicfile writes files that are never observed half-written:
+// content goes to a temporary file in the destination directory, is
+// fsynced, and is renamed over the target in one atomic step. A reader
+// (or a process that crashes mid-write) therefore sees either the old
+// file or the complete new one — never a truncated hybrid. The trace
+// store (lttrace -record, Spill) and the persistent result cache both
+// depend on this: a cache open trusts what it finds on disk, so a
+// torn write must be impossible rather than merely unlikely.
+package atomicfile
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// WriteFile atomically replaces path with the bytes produced by write.
+// The data is staged in a temporary file in path's directory (same
+// filesystem, so the final rename is atomic), fsynced before the rename
+// (so a crash after WriteFile returns cannot surface an empty or partial
+// file), and the directory entry is fsynced after it (so the rename
+// itself is durable). On any error the temporary file is removed and the
+// previous content of path, if any, is left untouched.
+func WriteFile(path string, write func(io.Writer) error) (err error) {
+	dir, base := filepath.Split(path)
+	if dir == "" {
+		dir = "."
+	}
+	tmp, err := os.CreateTemp(dir, base+".tmp*")
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if err != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+		}
+	}()
+	if err = write(tmp); err != nil {
+		return err
+	}
+	if err = tmp.Sync(); err != nil {
+		return err
+	}
+	if err = tmp.Close(); err != nil {
+		return err
+	}
+	if err = os.Rename(tmp.Name(), path); err != nil {
+		return err
+	}
+	return syncDir(dir)
+}
+
+// WriteFileBytes is WriteFile for in-memory content.
+func WriteFileBytes(path string, data []byte) error {
+	return WriteFile(path, func(w io.Writer) error {
+		_, err := w.Write(data)
+		return err
+	})
+}
+
+// syncDir fsyncs a directory so a completed rename survives a crash.
+// Filesystems that reject directory fsync (it is optional on some
+// platforms) don't get less durability than they can provide: the error
+// is ignored.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	d.Sync()
+	return nil
+}

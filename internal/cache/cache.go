@@ -65,6 +65,19 @@ type Config struct {
 // Sets returns the number of sets implied by the configuration.
 func (c Config) Sets() int { return c.Size / (c.BlockSize * c.Assoc) }
 
+// Fingerprint renders the configuration into a canonical cache-key form:
+// every simulation-affecting field, explicitly enumerated, in a fixed
+// order. The persistent result cache (internal/cachedir) addresses
+// on-disk entries by these strings, so the encoding is part of the cache
+// format: adding a field here is a deliberate schema change (and any
+// semantic change that is NOT visible in a field must bump the
+// content-address version stamp instead — see DESIGN.md §12). The
+// display-only Name is excluded: two caches differing only in label
+// simulate identically.
+func (c Config) Fingerprint() string {
+	return fmt.Sprintf("sz%d,bl%d,as%d,po%d,hl%d", c.Size, c.BlockSize, c.Assoc, c.Policy, c.HitLatency)
+}
+
 // Validate reports configuration errors.
 func (c Config) Validate() error {
 	if c.Size <= 0 || c.BlockSize <= 0 || c.Assoc <= 0 {

@@ -1,0 +1,19 @@
+//go:build linux
+
+package cachedir
+
+import (
+	"os"
+	"syscall"
+	"time"
+)
+
+// fileAtime extracts the access time from a stat result. Eviction orders
+// entries by this; Dir.touch keeps it fresh on hits even when the mount
+// is relatime/noatime.
+func fileAtime(fi os.FileInfo) time.Time {
+	if st, ok := fi.Sys().(*syscall.Stat_t); ok {
+		return time.Unix(st.Atim.Sec, st.Atim.Nsec)
+	}
+	return fi.ModTime()
+}

@@ -1,0 +1,15 @@
+//go:build !linux
+
+package cachedir
+
+import (
+	"os"
+	"time"
+)
+
+// fileAtime falls back to the modification time on platforms where the
+// access time is not portably available — eviction then approximates
+// LRU by write order, which is still safe (just less precise).
+func fileAtime(fi os.FileInfo) time.Time {
+	return fi.ModTime()
+}

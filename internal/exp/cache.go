@@ -1,0 +1,97 @@
+package exp
+
+import (
+	"encoding/gob"
+	"fmt"
+
+	"repro/internal/cachedir"
+	"repro/internal/corr"
+	"repro/internal/runner"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// MaterializedTrace resolves one preset's stream through the persistent
+// cache outside an experiment run (cmd/ltsim's warm path): it submits
+// the same mat cell the experiments use to a throwaway scheduler wired
+// to dir, so a stream any prior run materialized mmaps straight back in,
+// and a miss generates, materializes and persists it for everyone.
+func MaterializedTrace(dir *cachedir.Dir, p workload.Preset, sc workload.Scale, seed uint64) (*trace.Materialized, error) {
+	s := runner.New(1)
+	if dir != nil {
+		s.SetStore(dir)
+	}
+	o := Options{Scale: sc, Seed: seed, Cache: dir}
+	return o.materialized(s, p, seed)
+}
+
+// CacheVersion is the code-version stamp mixed into every persistent
+// cache address (cachedir.Options.Version). Cell keys fingerprint every
+// *input* that affects a result; this stamp covers everything they
+// cannot see — the simulation semantics themselves. Bump it whenever a
+// change alters any cell's output for an unchanged key: generator or
+// predictor behavior, cache replacement details, result-struct field
+// meanings, the gob encoding of a result type, or the trace container
+// format. Stale entries are then stranded under the old stamp (and
+// eventually evicted) instead of ever being served. See DESIGN.md §12.
+const CacheVersion = "exp1"
+
+// OpenCache opens the persistent cell/trace cache rooted at dir with the
+// experiment harness's version stamp. Mode Off (or an empty dir) yields
+// a nil *cachedir.Dir, which all consumers treat as "no cache".
+func OpenCache(dir string, mode cachedir.Mode, maxBytes int64) (*cachedir.Dir, error) {
+	if dir == "" {
+		return nil, nil
+	}
+	return cachedir.Open(dir, cachedir.Options{Mode: mode, MaxBytes: maxBytes, Version: CacheVersion})
+}
+
+// resultCodec persists plain-data cell results through gob; the concrete
+// types are registered below so encoded interface values round-trip.
+var resultCodec runner.Codec = runner.GobCodec{}
+
+func init() {
+	gob.Register(ltCov{})
+	gob.Register(timingRun{})
+	gob.Register(missRates{})
+	gob.Register(decileCov{})
+	gob.Register(sim.Coverage{})
+	gob.Register(sim.ShardedCoverage{})
+	gob.Register(corr.Result{})
+}
+
+// traceCodec persists materialized-trace cells out of band: Encode
+// writes the trace into the cache's content-addressed traces tier and
+// returns the digest as the stored payload; Decode maps the store back
+// in. The runner then treats trace revival like any other disk hit —
+// which is what lets a warm run report Executed == 0 — while the trace
+// bytes live once per machine, deduplicated across cell keys, replayed
+// via mmap without heap copies.
+type traceCodec struct {
+	dir *cachedir.Dir
+}
+
+// Encode implements runner.Codec.
+func (tc traceCodec) Encode(v any) ([]byte, error) {
+	m, ok := v.(*trace.Materialized)
+	if !ok {
+		return nil, fmt.Errorf("exp: traceCodec got %T", v)
+	}
+	digest, err := tc.dir.AddTrace(m)
+	if err != nil {
+		return nil, err
+	}
+	return []byte(digest), nil
+}
+
+// Decode implements runner.Codec. A digest whose trace file is missing
+// or corrupt decodes with an error, which the runner treats as a miss:
+// the stream is regenerated and both tiers repaired.
+func (tc traceCodec) Decode(data []byte) (any, error) {
+	m, ok := tc.dir.OpenTrace(string(data))
+	if !ok {
+		return nil, fmt.Errorf("exp: trace %.12s… not in cache", string(data))
+	}
+	return m, nil
+}

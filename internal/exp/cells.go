@@ -50,8 +50,18 @@ func (o Options) cellKey(p workload.Preset) string {
 // pass their effective seed (seed+7i), so a partner program shared by
 // several mixes is also generated once.
 func (o Options) materialized(s *runner.Scheduler, p workload.Preset, seed uint64) (*trace.Materialized, error) {
+	// With a persistent cache attached, the trace persists out of band
+	// through traceCodec: the cell's stored payload is the content digest
+	// of the LTCX file in the cache's traces tier, and revival mmaps the
+	// file back — each (preset, scale, seed) stream is generated once per
+	// machine, not once per process.
+	var codec runner.Codec
+	if o.Cache != nil {
+		codec = traceCodec{dir: o.Cache}
+	}
 	v, err := s.Do(runner.Cell{
-		Key: fmt.Sprintf("mat|%s|scale%d|seed%d", p.Name, o.Scale, seed),
+		Key:   fmt.Sprintf("mat|%s|scale%d|seed%d", p.Name, o.Scale, seed),
+		Codec: codec,
 		Run: func() (any, error) {
 			return trace.Materialize(p.Source(o.Scale, seed)), nil
 		},
@@ -90,17 +100,13 @@ func (o Options) consolCursors(s *runner.Scheduler, progs []workload.ConsolProgr
 	return srcs, quanta, nil
 }
 
-// covCfgKey fingerprints a coverage configuration. A DeadTimes sink is
-// marked (not fingerprinted): cell results are cached and shared, so a
-// side-channel output sink would stay empty on a cache hit — such
-// configs get their own key and are rejected at run time.
-func covCfgKey(cfg sim.Config) string {
-	key := fmt.Sprintf("l1{%+v}|l2{%+v}|withl2=%t", cfg.L1, cfg.L2, cfg.WithL2)
-	if cfg.DeadTimes != nil {
-		key += "|deadtimes=sink"
-	}
-	return key
-}
+// Coverage configurations are fingerprinted by sim.Config.Fingerprint:
+// canonical (defaults resolved, so Config{} and an explicit PaperL1D()
+// config share an entry) and stable across processes, as the persistent
+// cache requires. A DeadTimes sink is marked (not fingerprinted): cell
+// results are cached and shared, so a side-channel output sink would
+// stay empty on a cache hit — such configs get their own key and are
+// rejected at run time.
 
 // errDeadTimesSink rejects coverage configs carrying an output sink that
 // memoization cannot serve (use the timing cells' cached DeadTimes
@@ -144,8 +150,8 @@ type ltCov struct {
 
 // ltCoverageCell runs LT-cords over one preset's trace.
 func (o Options) ltCoverageCell(s *runner.Scheduler, p workload.Preset, params core.Params, cfg sim.Config) runner.Task[ltCov] {
-	key := "cov|" + o.cellKey(p) + "|pf=lt{" + fp(params) + "}|" + covCfgKey(cfg)
-	return runner.Task[ltCov]{Key: key, Run: func() (ltCov, error) {
+	key := "cov|" + o.cellKey(p) + "|pf=lt{" + fp(params) + "}|" + cfg.Fingerprint()
+	return runner.Task[ltCov]{Key: key, Codec: resultCodec, Run: func() (ltCov, error) {
 		if cfg.DeadTimes != nil {
 			return ltCov{}, errDeadTimesSink
 		}
@@ -164,8 +170,8 @@ func (o Options) ltCoverageCell(s *runner.Scheduler, p workload.Preset, params c
 
 // dbcpCoverageCell runs a DBCP configuration over one preset's trace.
 func (o Options) dbcpCoverageCell(s *runner.Scheduler, p workload.Preset, params dbcp.Params, cfg sim.Config) runner.Task[sim.Coverage] {
-	key := "cov|" + o.cellKey(p) + "|pf=dbcp{" + fp(params) + "}|" + covCfgKey(cfg)
-	return runner.Task[sim.Coverage]{Key: key, Run: func() (sim.Coverage, error) {
+	key := "cov|" + o.cellKey(p) + "|pf=dbcp{" + fp(params) + "}|" + cfg.Fingerprint()
+	return runner.Task[sim.Coverage]{Key: key, Codec: resultCodec, Run: func() (sim.Coverage, error) {
 		if cfg.DeadTimes != nil {
 			return sim.Coverage{}, errDeadTimesSink
 		}
@@ -182,7 +188,7 @@ func (o Options) dbcpCoverageCell(s *runner.Scheduler, p workload.Preset, params
 // cached and shared: consumers must not mutate them.
 func (o Options) corrCell(s *runner.Scheduler, p workload.Preset, cfg corr.Config) runner.Task[corr.Result] {
 	key := "corr|" + o.cellKey(p) + "|cfg{" + fp(cfg) + "}"
-	return runner.Task[corr.Result]{Key: key, Run: func() (corr.Result, error) {
+	return runner.Task[corr.Result]{Key: key, Codec: resultCodec, Run: func() (corr.Result, error) {
 		src, err := o.source(s, p)
 		if err != nil {
 			return corr.Result{}, err
@@ -222,8 +228,8 @@ func (o Options) timingCell(s *runner.Scheduler, p workload.Preset, spec pfSpec,
 	kp := params
 	kp.WarmupInstrs = 0
 	kp.DeadTimes = nil
-	key := "timing|" + o.cellKey(p) + "|core{" + fp(kp) + "}|l1{" + fp(l1) + "}|l2{" + fp(l2) + "}|pf=" + spec.fp
-	return runner.Task[timingRun]{Key: key, Run: func() (timingRun, error) {
+	key := "timing|" + o.cellKey(p) + "|core{" + fp(kp) + "}|l1{" + l1.Fingerprint() + "}|l2{" + l2.Fingerprint() + "}|pf=" + spec.fp
+	return runner.Task[timingRun]{Key: key, Codec: resultCodec, Run: func() (timingRun, error) {
 		total, err := o.instrs(s, p)
 		if err != nil {
 			return timingRun{}, err
@@ -258,8 +264,8 @@ type missRates struct {
 // missRateCell drives one preset's trace through an L1/L2 pair and
 // reports the miss rates.
 func (o Options) missRateCell(s *runner.Scheduler, p workload.Preset, l1cfg, l2cfg cache.Config) runner.Task[missRates] {
-	key := "missrate|" + o.cellKey(p) + "|l1{" + fp(l1cfg) + "}|l2{" + fp(l2cfg) + "}"
-	return runner.Task[missRates]{Key: key, Run: func() (missRates, error) {
+	key := "missrate|" + o.cellKey(p) + "|l1{" + l1cfg.Fingerprint() + "}|l2{" + l2cfg.Fingerprint() + "}"
+	return runner.Task[missRates]{Key: key, Codec: resultCodec, Run: func() (missRates, error) {
 		l1, err := cache.New(l1cfg)
 		if err != nil {
 			return missRates{}, err
@@ -309,7 +315,7 @@ func (o Options) missRateCell(s *runner.Scheduler, p workload.Preset, l1cfg, l2c
 // and tagged with context 1) driven through the monolithic coverage run.
 func (o Options) mixedCoverageCell(s *runner.Scheduler, subject, partner workload.Preset, qSubj, qPart uint64, params core.Params) runner.Task[sim.Coverage] {
 	key := fmt.Sprintf("mixcov|%s|%s+%s|q%d/%d|pf=lt{%s}", o.cellKey(subject), subject.Name, partner.Name, qSubj, qPart, fp(params))
-	return runner.Task[sim.Coverage]{Key: key, Run: func() (sim.Coverage, error) {
+	return runner.Task[sim.Coverage]{Key: key, Codec: resultCodec, Run: func() (sim.Coverage, error) {
 		srcs, quanta, err := o.consolCursors(s, []workload.ConsolProgram{
 			{Preset: subject, Quantum: qSubj},
 			{Preset: partner, Quantum: qPart},
@@ -337,8 +343,8 @@ func (o Options) mixedCoverageCell(s *runner.Scheduler, subject, partner workloa
 func (o Options) shardCoverageCell(s *runner.Scheduler, p workload.Preset, ctx int, params core.Params, cfg sim.Config) runner.Task[sim.Coverage] {
 	seed := o.seed() + 7*uint64(ctx)
 	key := fmt.Sprintf("covshard|%s|scale%d|seed%d|ctx%d|pf=lt{%s}|%s",
-		p.Name, o.Scale, seed, ctx, fp(params), covCfgKey(cfg))
-	return runner.Task[sim.Coverage]{Key: key, Run: func() (sim.Coverage, error) {
+		p.Name, o.Scale, seed, ctx, fp(params), cfg.Fingerprint())
+	return runner.Task[sim.Coverage]{Key: key, Codec: resultCodec, Run: func() (sim.Coverage, error) {
 		if cfg.DeadTimes != nil {
 			return sim.Coverage{}, errDeadTimesSink
 		}
@@ -377,7 +383,7 @@ func (o Options) consolCoverageCell(s *runner.Scheduler, progs []workload.Consol
 	if !shared && o.workers() > 1 {
 		weight = min(o.workers(), len(progs))
 	}
-	return runner.Task[sim.ShardedCoverage]{Key: key, Weight: weight, Run: func() (sim.ShardedCoverage, error) {
+	return runner.Task[sim.ShardedCoverage]{Key: key, Weight: weight, Codec: resultCodec, Run: func() (sim.ShardedCoverage, error) {
 		if !shared {
 			tasks := make([]runner.Task[sim.Coverage], len(progs))
 			for i, p := range progs {
@@ -415,7 +421,7 @@ type decileCov struct {
 // reference index.
 func (o Options) decileCell(s *runner.Scheduler, p workload.Preset, params core.Params) runner.Task[decileCov] {
 	key := "decile|" + o.cellKey(p) + "|pf=lt{" + fp(params) + "}"
-	return runner.Task[decileCov]{Key: key, Run: func() (decileCov, error) {
+	return runner.Task[decileCov]{Key: key, Codec: resultCodec, Run: func() (decileCov, error) {
 		m, err := o.materialized(s, p, o.seed())
 		if err != nil {
 			return decileCov{}, err

@@ -14,6 +14,7 @@ import (
 	"io"
 	"sort"
 
+	"repro/internal/cachedir"
 	"repro/internal/cpu"
 	"repro/internal/runner"
 	"repro/internal/stats"
@@ -48,8 +49,16 @@ type Options struct {
 	// Runner, when non-nil, is a shared cell scheduler: its result cache
 	// spans every experiment submitted to it (cmd/ltexp shares one
 	// scheduler across an -exp all invocation so repeated cells are
-	// simulated once). When nil, each Run builds its own.
+	// simulated once). When nil, each Run builds its own. A caller that
+	// supplies both Runner and Cache must attach the cache itself
+	// (Scheduler.SetStore) — sched only wires the two together for
+	// schedulers it creates.
 	Runner *runner.Scheduler
+	// Cache, when non-nil, is the persistent cell/trace cache
+	// (exp.OpenCache): cell results revive across process restarts and
+	// preset traces materialize once per machine. The in-memory scheduler
+	// cache becomes a write-through L1 over it.
+	Cache *cachedir.Dir
 }
 
 // sched resolves the cell scheduler for a run.
@@ -57,7 +66,11 @@ func (o Options) sched() *runner.Scheduler {
 	if o.Runner != nil {
 		return o.Runner
 	}
-	return runner.New(o.Parallelism)
+	s := runner.New(o.Parallelism)
+	if o.Cache != nil {
+		s.SetStore(o.Cache)
+	}
+	return s
 }
 
 func (o Options) workers() int {

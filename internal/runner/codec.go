@@ -1,0 +1,38 @@
+package runner
+
+import (
+	"bytes"
+	"encoding/gob"
+)
+
+// GobCodec is the default Codec for plain-data cell results: values are
+// encoded through encoding/gob as interface values, so the concrete
+// result types must be registered with gob.Register by the package that
+// owns them (internal/exp registers its cell result types in an init).
+//
+// Gob round-trips Go values exactly — integers, float bit patterns,
+// slices, and types implementing GobEncoder/GobDecoder (the stats
+// histograms) — which is what makes warm-cache reports byte-identical
+// to cold ones. It is also self-describing per payload: a result struct
+// that gains or loses fields still decodes, which is why semantic
+// changes must be invalidated by the content-address version stamp
+// (internal/cachedir), not trusted to fail decoding.
+type GobCodec struct{}
+
+// Encode implements Codec.
+func (GobCodec) Encode(v any) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&v); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// Decode implements Codec.
+func (GobCodec) Decode(data []byte) (any, error) {
+	var v any
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&v); err != nil {
+		return nil, err
+	}
+	return v, nil
+}

@@ -47,25 +47,71 @@ type Cell struct {
 	// scheduler's capacity; Weight only gates admission through Map —
 	// a direct Do never blocks.
 	Weight int
+	// Codec, when non-nil, makes the cell persistable: if the scheduler
+	// has a CacheStore attached, a miss in the in-memory map consults the
+	// store (Codec.Decode revives the value without running the cell) and
+	// a computed value is encoded and written through. A nil Codec keeps
+	// the cell memory-only. Decode failures — corrupt, truncated or
+	// format-drifted entries — are never errors: the cell falls back to
+	// recompute, and the fresh value is re-persisted over the bad entry.
+	Codec Codec
+}
+
+// Codec encodes cell values for a persistent CacheStore. Encode and
+// Decode must be exact inverses: a decoded value must be observationally
+// identical to the computed one (warm-cache reports are required to be
+// byte-identical to cold ones). Implementations may store large payloads
+// out of band and return a small locator (the trace tier does: the
+// encoded form of a materialized trace is the content digest of its
+// store file).
+type Codec interface {
+	Encode(v any) ([]byte, error)
+	Decode(data []byte) (any, error)
+}
+
+// CacheStore is a persistent, concurrency-safe byte store keyed by cell
+// key, the L2 behind the scheduler's in-memory map. Implementations own
+// content addressing (hashing the key with a code-version stamp),
+// integrity checking and eviction — the scheduler only sees hit-or-miss;
+// internal/cachedir is the on-disk implementation. Get returns the
+// payload Put stored under the key, or false on any miss (absent,
+// corrupt, evicted, read-only open failure). Put persists best-effort
+// and reports whether the entry was written (false in read-only mode or
+// on I/O errors — never an error: the cache is an accelerator, not a
+// dependency).
+type CacheStore interface {
+	Get(key string) ([]byte, bool)
+	Put(key string, data []byte) bool
 }
 
 // Stats counts cell traffic through a scheduler.
 type Stats struct {
 	// Submitted is the number of cells handed to Do or Map.
 	Submitted uint64 `json:"submitted"`
-	// Executed is the number of cells actually simulated (cache misses).
+	// Executed is the number of cells actually simulated: misses in both
+	// the in-memory map and (for persistable cells with a store attached)
+	// the persistent store. A warm-cache run proves itself by Executed
+	// staying 0.
 	Executed uint64 `json:"executed"`
-	// Hits is the number of cells served from the cache, including waits
-	// on a cell already in flight on another worker.
+	// Hits is the number of cells served from the in-memory cache,
+	// including waits on a cell already in flight on another worker.
 	Hits uint64 `json:"hits"`
+	// DiskHits is the number of cells revived from the persistent store
+	// instead of simulated (counted once per key per scheduler; later
+	// submissions of the same key are in-memory Hits).
+	DiskHits uint64 `json:"disk_hits,omitempty"`
+	// Persisted is the number of computed cell results written through to
+	// the persistent store.
+	Persisted uint64 `json:"persisted,omitempty"`
 }
 
-// HitRate returns the fraction of submitted cells eliminated by the cache.
+// HitRate returns the fraction of submitted cells eliminated by either
+// cache tier (in-memory or persistent).
 func (s Stats) HitRate() float64 {
 	if s.Submitted == 0 {
 		return 0
 	}
-	return float64(s.Hits) / float64(s.Submitted)
+	return float64(s.Hits+s.DiskHits) / float64(s.Submitted)
 }
 
 type entry struct {
@@ -90,6 +136,7 @@ func (e *cellError) Unwrap() error { return e.err }
 // goroutines); sharing is what enables the cross-figure cache.
 type Scheduler struct {
 	workers int
+	store   CacheStore // optional persistent tier; nil = memory-only
 
 	mu    sync.Mutex
 	cells map[string]*entry
@@ -144,6 +191,12 @@ func (s *Scheduler) release(w int) {
 // Parallelism returns the worker count.
 func (s *Scheduler) Parallelism() int { return s.workers }
 
+// SetStore attaches a persistent cache tier: the in-memory cell map
+// becomes a write-through L1 over it. Cells opt in per-cell by carrying
+// a Codec. Attach the store before submitting work; a nil store detaches
+// the tier.
+func (s *Scheduler) SetStore(cs CacheStore) { s.store = cs }
+
 // Stats returns a snapshot of the cell counters.
 func (s *Scheduler) Stats() Stats {
 	s.mu.Lock()
@@ -155,6 +208,13 @@ func (s *Scheduler) Stats() Stats {
 // first submission of a key runs it, every later submission (and any
 // concurrent duplicate) waits for and shares that result. Errors are
 // cached like values — a deterministic cell fails the same way every time.
+//
+// With a CacheStore attached and a persistable cell (Codec non-nil), the
+// in-memory map acts as a write-through L1: an in-memory miss first
+// consults the store (reviving the value counts as a DiskHit, not an
+// execution), and a freshly computed value is encoded and persisted.
+// Errors are memoized in memory only — they are never written to disk,
+// so a transient failure doesn't poison later runs.
 func (s *Scheduler) Do(c Cell) (any, error) {
 	if c.Key == "" {
 		return nil, fmt.Errorf("runner: cell with empty key")
@@ -169,15 +229,61 @@ func (s *Scheduler) Do(c Cell) (any, error) {
 	}
 	e := &entry{done: make(chan struct{})}
 	s.cells[c.Key] = e
-	s.stats.Executed++
 	s.mu.Unlock()
-	e.val, e.err = c.Run()
-	var ce *cellError
-	if e.err != nil && !errors.As(e.err, &ce) {
-		e.err = &cellError{key: c.Key, err: e.err}
+	if v, ok := s.restore(c); ok {
+		e.val = v
+		s.count(func(st *Stats) { st.DiskHits++ })
+	} else {
+		s.count(func(st *Stats) { st.Executed++ })
+		e.val, e.err = c.Run()
+		var ce *cellError
+		if e.err != nil && !errors.As(e.err, &ce) {
+			e.err = &cellError{key: c.Key, err: e.err}
+		}
+		if e.err == nil && s.persist(c, e.val) {
+			s.count(func(st *Stats) { st.Persisted++ })
+		}
 	}
 	close(e.done)
 	return e.val, e.err
+}
+
+// count applies one stats mutation under the scheduler lock.
+func (s *Scheduler) count(f func(*Stats)) {
+	s.mu.Lock()
+	f(&s.stats)
+	s.mu.Unlock()
+}
+
+// restore tries to revive a persistable cell's value from the store. Any
+// failure — no store, memory-only cell, absent entry, undecodable
+// payload — is a miss: the caller recomputes (and re-persists, repairing
+// a corrupt entry in place).
+func (s *Scheduler) restore(c Cell) (any, bool) {
+	if s.store == nil || c.Codec == nil {
+		return nil, false
+	}
+	data, ok := s.store.Get(c.Key)
+	if !ok {
+		return nil, false
+	}
+	v, err := c.Codec.Decode(data)
+	if err != nil {
+		return nil, false
+	}
+	return v, true
+}
+
+// persist writes a computed value through to the store, best-effort.
+func (s *Scheduler) persist(c Cell, v any) bool {
+	if s.store == nil || c.Codec == nil {
+		return false
+	}
+	data, err := c.Codec.Encode(v)
+	if err != nil {
+		return false
+	}
+	return s.store.Put(c.Key, data)
 }
 
 // Map executes a batch of cells across the worker pool and returns their
@@ -254,13 +360,16 @@ type Task[T any] struct {
 	Run func() (T, error)
 	// Weight is the cell's admission-token demand (see Cell.Weight).
 	Weight int
+	// Codec makes the task persistable in an attached CacheStore (see
+	// Cell.Codec); the decoded value must assert back to T.
+	Codec Codec
 }
 
 // erase wraps typed tasks as Cells.
 func erase[T any](tasks []Task[T], cells []Cell) []Cell {
 	for _, t := range tasks {
 		run := t.Run
-		cells = append(cells, Cell{Key: t.Key, Run: func() (any, error) { return run() }, Weight: t.Weight})
+		cells = append(cells, Cell{Key: t.Key, Run: func() (any, error) { return run() }, Weight: t.Weight, Codec: t.Codec})
 	}
 	return cells
 }

@@ -1,0 +1,49 @@
+package stats
+
+import (
+	"bytes"
+	"encoding/gob"
+	"reflect"
+	"testing"
+)
+
+// TestLog2HistogramGobRoundTrip pins the persistence contract: a
+// histogram must survive gob exactly (the persistent result cache decodes
+// cached cells back into reports that must be byte-identical).
+func TestLog2HistogramGobRoundTrip(t *testing.T) {
+	h := NewLog2Histogram(36)
+	for v := uint64(1); v < 1<<20; v = v*3 + 1 {
+		h.AddN(v, v%7+1)
+	}
+	h.Add(0)
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(h); err != nil {
+		t.Fatal(err)
+	}
+	var got Log2Histogram
+	if err := gob.NewDecoder(&buf).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(h, &got) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", &got, h)
+	}
+	if got.Total() != h.Total() {
+		t.Fatalf("total %d, want %d", got.Total(), h.Total())
+	}
+}
+
+func TestLog2HistogramGobDecodeCorrupt(t *testing.T) {
+	h := NewLog2Histogram(8)
+	h.Add(100)
+	enc, err := h.GobEncode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out Log2Histogram
+	if err := out.GobDecode(enc[:len(enc)-1]); err == nil {
+		t.Fatal("truncated encoding decoded without error")
+	}
+	if err := out.GobDecode(append(append([]byte(nil), enc...), 0xff)); err == nil {
+		t.Fatal("trailing garbage decoded without error")
+	}
+}

@@ -5,6 +5,7 @@
 package stats
 
 import (
+	"encoding/binary"
 	"fmt"
 	"math"
 	"math/bits"
@@ -51,6 +52,45 @@ func (h *Log2Histogram) AddN(v, n uint64) {
 
 // Total returns the number of observations.
 func (h *Log2Histogram) Total() uint64 { return h.total }
+
+// GobEncode implements gob.GobEncoder: the bucket count followed by the
+// per-bucket counts as uvarints (the total is derived on decode). The
+// persistent result cache (internal/cachedir) stores experiment cell
+// results through encoding/gob, which cannot see unexported fields; this
+// pair makes histograms round-trip exactly, so warm-cache reports are
+// byte-identical to cold ones.
+func (h *Log2Histogram) GobEncode() ([]byte, error) {
+	buf := make([]byte, 0, 2+10*len(h.counts))
+	buf = binary.AppendUvarint(buf, uint64(len(h.counts)))
+	for _, c := range h.counts {
+		buf = binary.AppendUvarint(buf, c)
+	}
+	return buf, nil
+}
+
+// GobDecode implements gob.GobDecoder.
+func (h *Log2Histogram) GobDecode(data []byte) error {
+	n, k := binary.Uvarint(data)
+	if k <= 0 || n == 0 || n > 1<<20 {
+		return fmt.Errorf("stats: corrupt Log2Histogram encoding (buckets=%d)", n)
+	}
+	data = data[k:]
+	h.counts = make([]uint64, n)
+	h.total = 0
+	for i := range h.counts {
+		c, k := binary.Uvarint(data)
+		if k <= 0 {
+			return fmt.Errorf("stats: truncated Log2Histogram encoding (bucket %d/%d)", i, n)
+		}
+		data = data[k:]
+		h.counts[i] = c
+		h.total += c
+	}
+	if len(data) != 0 {
+		return fmt.Errorf("stats: %d trailing bytes in Log2Histogram encoding", len(data))
+	}
+	return nil
+}
 
 // Buckets returns the number of buckets.
 func (h *Log2Histogram) Buckets() int { return len(h.counts) }

@@ -3,10 +3,12 @@ package trace
 import (
 	"encoding/binary"
 	"fmt"
+	"io"
 	"math/bits"
 	"os"
 	"sync"
 
+	"repro/internal/atomicfile"
 	"repro/internal/mem"
 )
 
@@ -477,22 +479,29 @@ func (m *Materialized) headerBytes() []byte {
 	return h
 }
 
-// WriteFile persists the store — header, chunk index, chunk data — to
-// path, replacing any existing file.
-func (m *Materialized) WriteFile(path string) error {
-	f, err := os.Create(path)
+// WriteTo streams the store's serialized form — header, chunk index,
+// chunk data — to w (the exact bytes WriteFile persists; the persistent
+// cache content-addresses stores by hashing this stream).
+func (m *Materialized) WriteTo(w io.Writer) (int64, error) {
+	h := m.headerBytes()
+	n, err := w.Write(h)
 	if err != nil {
-		return err
+		return int64(n), err
 	}
-	if _, err := f.Write(m.headerBytes()); err != nil {
-		f.Close()
+	nd, err := w.Write(m.data)
+	return int64(n) + int64(nd), err
+}
+
+// WriteFile persists the store to path, replacing any existing file. The
+// write is crash-safe: the bytes are staged in a temporary file in the
+// target directory, fsynced, and atomically renamed into place — an
+// interrupted run can leave a stale temp file but never a truncated
+// store that a later cache open would trust (see internal/atomicfile).
+func (m *Materialized) WriteFile(path string) error {
+	return atomicfile.WriteFile(path, func(w io.Writer) error {
+		_, err := m.WriteTo(w)
 		return err
-	}
-	if _, err := f.Write(m.data); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
+	})
 }
 
 // OpenStore maps a store file written by WriteFile (or lttrace -record)

@@ -286,12 +286,12 @@ func TestCoveredEpisodeCarriesConfidence(t *testing.T) {
 	pr := MustNew(sim.PaperL1D(), DefaultParams())
 	pr.sc.insert(sigEntry{sig: 123, repl: 0x4000, conf: 2, frame: 0, off: 0})
 	pr.frames[0].sigs = []storedSig{{repl: 0x4000, sig: 123, conf: 2}}
-	pr.carryAndRecord(history.Signature(123), 0x4000)
+	pr.carryAndRecord(0, history.Signature(123), 0x4000)
 	if got := pr.sc.meta[pr.sc.lookup(history.Signature(123))].conf; got != 2 {
 		t.Errorf("on-chip conf after carry = %d want 2 (unchanged)", got)
 	}
 	// The demand path with matching evidence does boost.
-	pr.verifyAndRecord(history.Signature(123), 0x4000)
+	pr.verifyAndRecord(0, history.Signature(123), 0x4000)
 	if got := pr.sc.meta[pr.sc.lookup(history.Signature(123))].conf; got != 3 {
 		t.Errorf("on-chip conf after demand verify = %d want 3", got)
 	}

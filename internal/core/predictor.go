@@ -34,6 +34,11 @@ type Stats struct {
 	SeqWriteBytes  uint64 // "sequence creation"
 	SeqFetchBytes  uint64 // "sequence fetch"
 	ConfWriteBytes uint64 // part of "sequence creation" in the paper
+	// MirrorDivergences counts history-table installs whose victim was
+	// absent from the mirror set — the mirror desyncing from the cache it
+	// shadows. Zero for any consistent topology (including shared state
+	// over private caches via NewShared's per-context banks).
+	MirrorDivergences uint64
 }
 
 // frame is one off-chip sequence frame holding a fragment. Recording
@@ -65,6 +70,18 @@ type predLoc struct {
 	off   int32
 }
 
+// recStream is one context's recording state: the fragment it is currently
+// appending to and the lookahead ring that selects fragment heads. Under
+// shared state each context's core logs its own last-touch sequence; the
+// fragments land in the shared frame array.
+type recStream struct {
+	recFrame int32
+	started  bool
+	ring     []history.Signature // last HeadLookahead recorded signatures
+	ringN    uint64
+	writeBuf int
+}
+
 // Predictor is the LT-cords prefetcher. It implements sim.Prefetcher,
 // sim.EarlyEvictionObserver and sim.PrefetchFillObserver. Not safe for
 // concurrent use.
@@ -73,16 +90,26 @@ type Predictor struct {
 	geo  mem.Geometry
 	hist *history.Table
 	sc   *sigCache
+	// ctxs > 1 means this instance is shared across that many private
+	// per-context caches (NewShared): the history mirror is banked per
+	// context, and bankSets is the per-bank set count folded into every
+	// set index. ctxs == 1 ignores Ctx tags entirely (one physical cache,
+	// shared or not, has one tag array to mirror).
+	ctxs     int
+	bankSets int
 
 	frames    []frame
 	frameMask int32
 	window    []int32 // per-frame sliding window position (next offset to stream)
 
-	recFrame int32
-	started  bool
-	ring     []history.Signature // last HeadLookahead recorded signatures
-	ringN    uint64
-	writeBuf int
+	// rec holds one recording stream per context. Frame storage is shared
+	// (fragments from every context live in the same direct-mapped frame
+	// array), but each context appends to its own fragment: consolidation
+	// shares the predictor's storage, not the order of one core's miss
+	// stream. A single interleaved stream would mix contexts' signatures
+	// into every fragment, and the streamed sequence would match no one
+	// context's future accesses.
+	rec []recStream
 
 	lastPred *predTable // victim block -> predicting signature location
 
@@ -92,29 +119,60 @@ type Predictor struct {
 var _ sim.Prefetcher = (*Predictor)(nil)
 var _ sim.EarlyEvictionObserver = (*Predictor)(nil)
 var _ sim.PrefetchFillObserver = (*Predictor)(nil)
+var _ sim.CtxPrefetchFillObserver = (*Predictor)(nil)
 
 // New builds an LT-cords predictor attached to an L1D with the given
 // configuration (the history table mirrors the L1D tag array).
 func New(l1 cache.Config, p Params) (*Predictor, error) {
+	return NewShared(l1, p, 1)
+}
+
+// NewShared builds an LT-cords predictor shared across contexts private
+// caches of the given L1D geometry (the consolidated-server topology: one
+// predictor, per-core L1Ds). The history mirror is banked per context so
+// each bank stays in lockstep with its cache's tag array — an unbanked
+// mirror desyncs immediately because different contexts' resident sets
+// collide on set indices — and the Ctx tag participates in every
+// signature through the banked row index. Recording is likewise banked:
+// each context appends to its own fragment (one recStream per context),
+// because last-touch sequences only repeat within one core's miss stream;
+// a single global stream would interleave contexts into every fragment
+// and the streamed sequence would match nothing. Off-chip sequence
+// storage is sized by consolidation degree: Frames scales by the next
+// power of two ≥ contexts, so per-program fragment capacity matches the
+// standalone configuration. NewShared(l1, p, 1) is exactly New(l1, p).
+func NewShared(l1 cache.Config, p Params, contexts int) (*Predictor, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
 	if err := l1.Validate(); err != nil {
 		return nil, err
 	}
+	if contexts < 1 {
+		return nil, fmt.Errorf("core: contexts %d must be positive", contexts)
+	}
+	for scale := 1; scale < contexts; scale *= 2 {
+		p.Frames *= 2
+	}
 	geo, err := mem.NewGeometry(l1.BlockSize, l1.Sets())
 	if err != nil {
 		return nil, err
 	}
+	rec := make([]recStream, contexts)
+	for i := range rec {
+		rec[i].ring = make([]history.Signature, p.HeadLookahead)
+	}
 	return &Predictor{
 		p:         p,
 		geo:       geo,
-		hist:      history.New(l1.Sets(), l1.Assoc),
+		hist:      history.NewBanked(l1.Sets(), l1.Assoc, contexts),
 		sc:        newSigCache(p.SigCacheEntries, p.SigCacheAssoc),
+		ctxs:      contexts,
+		bankSets:  l1.Sets(),
 		frames:    make([]frame, p.Frames),
 		frameMask: int32(p.Frames - 1),
 		window:    make([]int32, p.Frames),
-		ring:      make([]history.Signature, p.HeadLookahead),
+		rec:       rec,
 		lastPred:  newPredTable(),
 	}, nil
 }
@@ -128,6 +186,36 @@ func MustNew(l1 cache.Config, p Params) *Predictor {
 	return pr
 }
 
+// MustNewShared is NewShared that panics on error.
+func MustNewShared(l1 cache.Config, p Params, contexts int) *Predictor {
+	pr, err := NewShared(l1, p, contexts)
+	if err != nil {
+		panic(err)
+	}
+	return pr
+}
+
+// bankedSet folds the context into the history-mirror set index: bank
+// ctx's rows start at ctx*bankSets. The single-context predictor ignores
+// the tag (there is one bank), keeping New's behavior bit-identical.
+func (pr *Predictor) bankedSet(ctx int, set int) int {
+	if pr.ctxs > 1 {
+		return ctx*pr.bankSets + set
+	}
+	return set
+}
+
+// ctxIndex maps a reference's Ctx tag to a recording stream. A standalone
+// predictor has one stream regardless of the tags it sees (partitioned
+// drivers hand each predictor a single context's references, but the tag
+// keeps its global value).
+func (pr *Predictor) ctxIndex(ctx int) int {
+	if pr.ctxs == 1 {
+		return 0
+	}
+	return ctx
+}
+
 // Name implements sim.Prefetcher.
 func (pr *Predictor) Name() string { return "lt-cords" }
 
@@ -135,14 +223,18 @@ func (pr *Predictor) Name() string { return "lt-cords" }
 func (pr *Predictor) Params() Params { return pr.p }
 
 // Stats returns a copy of the event counters.
-func (pr *Predictor) Stats() Stats { return pr.stats }
+func (pr *Predictor) Stats() Stats {
+	s := pr.stats
+	s.MirrorDivergences = pr.hist.Divergences()
+	return s
+}
 
 // OnAccess implements sim.Prefetcher: it records signatures at evictions,
 // looks the current signature up on chip, issues last-touch prefetches, and
 // advances sliding windows / activates fragments. Predictions are appended
 // to the driver-owned preds buffer (never retained).
 func (pr *Predictor) OnAccess(ref trace.Ref, hit bool, evicted *cache.EvictInfo, preds []sim.Prediction) []sim.Prediction {
-	set := pr.geo.Index(ref.Addr)
+	set := pr.bankedSet(int(ref.Ctx), pr.geo.Index(ref.Addr))
 	curTag := pr.geo.Tag(ref.Addr)
 	curBlock := pr.geo.BlockAddr(ref.Addr)
 
@@ -158,7 +250,7 @@ func (pr *Predictor) OnAccess(ref trace.Ref, hit bool, evicted *cache.EvictInfo,
 	evictSig = evictSig.Truncate(pr.sigBits())
 	cur = cur.Truncate(pr.sigBits())
 	if evictOK {
-		pr.verifyAndRecord(evictSig, curBlock)
+		pr.verifyAndRecord(pr.ctxIndex(int(ref.Ctx)), evictSig, curBlock)
 	}
 
 	if i := pr.sc.lookup(cur); i >= 0 {
@@ -192,9 +284,18 @@ func (pr *Predictor) OnAccess(ref trace.Ref, hit bool, evicted *cache.EvictInfo,
 // arrived, displacing the predicted-dead block. The displaced block's
 // episode ends here — exactly as a demand miss would have ended it — so its
 // signature is verified and re-recorded, keeping the off-chip sequence
-// alive even when coverage eliminates the demand misses.
+// alive even when coverage eliminates the demand misses. Context 0's bank
+// is assumed (monolithic drivers); Ctx-routing drivers use
+// OnCtxPrefetchFill.
 func (pr *Predictor) OnPrefetchFill(block mem.Addr, evicted *cache.EvictInfo) {
-	set := pr.geo.Index(block)
+	pr.OnCtxPrefetchFill(0, block, evicted)
+}
+
+// OnCtxPrefetchFill implements sim.CtxPrefetchFillObserver: OnPrefetchFill
+// with the context whose cache the fill landed in, selecting that
+// context's mirror bank under shared state.
+func (pr *Predictor) OnCtxPrefetchFill(ctx int, block mem.Addr, evicted *cache.EvictInfo) {
+	set := pr.bankedSet(ctx, pr.geo.Index(block))
 	tag := pr.geo.Tag(block)
 	var vTag mem.Addr
 	hasV := false
@@ -204,7 +305,7 @@ func (pr *Predictor) OnPrefetchFill(block mem.Addr, evicted *cache.EvictInfo) {
 	}
 	sig, ok := pr.hist.PrefetchFill(set, tag, vTag, hasV)
 	if ok {
-		pr.carryAndRecord(sig.Truncate(pr.sigBits()), block)
+		pr.carryAndRecord(pr.ctxIndex(ctx), sig.Truncate(pr.sigBits()), block)
 	}
 }
 
@@ -222,12 +323,12 @@ func (pr *Predictor) sigBits() uint {
 // itself, so matching it would be circular — a stale signature would keep
 // boosting its own confidence while evicting live blocks. Only demand
 // evidence (verifyAndRecord) moves the counter up.
-func (pr *Predictor) carryAndRecord(sig history.Signature, repl mem.Addr) {
+func (pr *Predictor) carryAndRecord(ctx int, sig history.Signature, repl mem.Addr) {
 	conf := pr.p.ConfInit
 	if i := pr.sc.lookup(sig); i >= 0 {
 		conf = pr.sc.meta[i].conf
 	}
-	pr.record(sig, repl, conf)
+	pr.record(ctx, sig, repl, conf)
 }
 
 // OnEarlyEviction implements sim.EarlyEvictionObserver: the block missed
@@ -275,7 +376,7 @@ func (pr *Predictor) notePrediction(victim mem.Addr, loc predLoc) {
 // live blocks forever (the paper's Section 4.4 counters exist precisely
 // "to avoid premature eviction of L1D cache blocks by signatures that
 // become invalid").
-func (pr *Predictor) verifyAndRecord(sig history.Signature, repl mem.Addr) {
+func (pr *Predictor) verifyAndRecord(ctx int, sig history.Signature, repl mem.Addr) {
 	conf := pr.p.ConfInit
 	if i := pr.sc.lookup(sig); i >= 0 {
 		m := &pr.sc.meta[i]
@@ -295,22 +396,23 @@ func (pr *Predictor) verifyAndRecord(sig history.Signature, repl mem.Addr) {
 			pr.stats.ConfWriteBytes++
 		}
 	}
-	pr.record(sig, repl, conf)
+	pr.record(ctx, sig, repl, conf)
 }
 
-// record appends one signature to the current recording fragment,
+// record appends one signature to ctx's current recording fragment,
 // write-combining off-chip transfers in TransferUnit units.
-func (pr *Predictor) record(sig history.Signature, repl mem.Addr, conf uint8) {
-	if !pr.started {
+func (pr *Predictor) record(ctx int, sig history.Signature, repl mem.Addr, conf uint8) {
+	rc := &pr.rec[ctx]
+	if !rc.started {
 		// The very first signature becomes the head of the initial frame so
 		// the sequence start can be re-activated later.
-		pr.started = true
-		pr.recFrame = int32(uint32(sig)) & pr.frameMask
-		fr := &pr.frames[pr.recFrame]
+		rc.started = true
+		rc.recFrame = int32(uint32(sig)) & pr.frameMask
+		fr := &pr.frames[rc.recFrame]
 		fr.head = sig
 		fr.headValid = true
 	}
-	fr := &pr.frames[pr.recFrame]
+	fr := &pr.frames[rc.recFrame]
 	if fr.sigs == nil {
 		fr.sigs = make([]storedSig, 0, pr.p.FragmentSigs)
 	}
@@ -322,27 +424,28 @@ func (pr *Predictor) record(sig history.Signature, repl mem.Addr, conf uint8) {
 	}
 	fr.writePos++
 	pr.stats.Recorded++
-	pr.ring[pr.ringN%uint64(len(pr.ring))] = sig
-	pr.ringN++
-	pr.writeBuf++
-	if pr.writeBuf >= pr.p.TransferUnit {
-		pr.stats.SeqWriteBytes += uint64(pr.writeBuf * pr.p.SigBytes)
-		pr.writeBuf = 0
+	rc.ring[rc.ringN%uint64(len(rc.ring))] = sig
+	rc.ringN++
+	rc.writeBuf++
+	if rc.writeBuf >= pr.p.TransferUnit {
+		pr.stats.SeqWriteBytes += uint64(rc.writeBuf * pr.p.SigBytes)
+		rc.writeBuf = 0
 	}
 	if fr.writePos >= pr.p.FragmentSigs {
-		pr.openFragment()
+		pr.openFragment(ctx)
 	}
 }
 
-// openFragment starts the next recording fragment in the frame selected by
-// the head signature (the signature recorded HeadLookahead ago).
-func (pr *Predictor) openFragment() {
+// openFragment starts ctx's next recording fragment in the frame selected
+// by the head signature (the signature ctx recorded HeadLookahead ago).
+func (pr *Predictor) openFragment(ctx int) {
+	rc := &pr.rec[ctx]
 	pr.stats.FragmentsOpened++
 	idx := uint64(0)
-	if pr.ringN >= uint64(pr.p.HeadLookahead) {
-		idx = pr.ringN - uint64(pr.p.HeadLookahead)
+	if rc.ringN >= uint64(pr.p.HeadLookahead) {
+		idx = rc.ringN - uint64(pr.p.HeadLookahead)
 	}
-	head := pr.ring[idx%uint64(len(pr.ring))]
+	head := rc.ring[idx%uint64(len(rc.ring))]
 	f := int32(uint32(head)) & pr.frameMask
 	fr := &pr.frames[f]
 	if fr.headValid && fr.head != head {
@@ -355,7 +458,7 @@ func (pr *Predictor) openFragment() {
 	fr.headValid = true
 	fr.writePos = 0
 	pr.window[f] = 0
-	pr.recFrame = f
+	rc.recFrame = f
 }
 
 // stream advances frame f's sliding window to at least upTo (bounded by the

@@ -17,9 +17,11 @@
 //   - front-end bubbles: branch mispredictions cost a fixed penalty at the
 //     workload's misprediction density;
 //   - TLB misses (256-entry, 4-way, 600-cycle penalty);
-//   - prefetch traffic: prefetches occupy the same busses and DRAM, are
-//     limited by a 128-entry request queue, and fill the L1 only when their
-//     data arrives.
+//   - prefetch traffic: prefetches wait in a 128-entry request queue and
+//     issue to the same busses and DRAM only from the queue head, as the
+//     engine's in-flight fill buffers free up; queue overflow drops old
+//     unissued requests at zero cost (nothing was reserved yet), and fills
+//     reach the L1 only when their data arrives (DESIGN.md §13).
 //
 // The absolute IPC of a real Alpha pipeline is not reproduced (see
 // DESIGN.md §5); relative speedups across predictor configurations are the
@@ -50,7 +52,14 @@ type Params struct {
 	TLBAssoc      int
 	TLBPenalty    int // cycles per TLB miss
 	PageBytes     int
-	PrefetchQueue int // prefetch request queue entries
+	PrefetchQueue int // prefetch request queue entries (unissued requests)
+	// PrefetchInflight bounds the prefetches concurrently issued to the
+	// memory system (the prefetch engine's MSHR-like fill buffers): the
+	// issue stage moves requests from the queue head into flight only
+	// while this many are not already outstanding, so the queue backs up —
+	// and overflows, dropping old unissued requests — exactly when
+	// completions cannot keep up. 0 defaults to MSHRs.
+	PrefetchInflight int
 	// PerfectL1 makes every L1D access hit (the Table 3 upper bound).
 	PerfectL1 bool
 	// WarmupInstrs excludes the first N committed instructions from the
@@ -66,16 +75,17 @@ type Params struct {
 // DefaultParams returns the paper's Table 1 core configuration.
 func DefaultParams() Params {
 	return Params{
-		IssueWidth:    8,
-		ROB:           256,
-		LSQ:           128,
-		MSHRs:         64,
-		BranchPenalty: 12,
-		TLBEntries:    256,
-		TLBAssoc:      4,
-		TLBPenalty:    600,
-		PageBytes:     8192,
-		PrefetchQueue: 128,
+		IssueWidth:       8,
+		ROB:              256,
+		LSQ:              128,
+		MSHRs:            64,
+		BranchPenalty:    12,
+		TLBEntries:       256,
+		TLBAssoc:         4,
+		TLBPenalty:       600,
+		PageBytes:        8192,
+		PrefetchQueue:    128,
+		PrefetchInflight: 64,
 	}
 }
 
@@ -97,8 +107,8 @@ type Result struct {
 	BytesSeqFetch  uint64 // LT-cords sequence fetch
 
 	MemBusBusy     uint64 // memory bus occupancy in cycles
-	PrefetchIssued uint64
-	PrefetchDrops  uint64 // queue overflow drops
+	PrefetchIssued uint64 // requests that left the queue and engaged the memory system
+	PrefetchDrops  uint64 // queue-overflow drops: unissued requests cancelled at zero cost
 	BranchBubbles  uint64
 
 	// WarmCycles and WarmInstrs are the cycle/instruction counts consumed
@@ -153,12 +163,22 @@ type inflightOp struct {
 	isMiss bool
 }
 
+// pendingPrefetch is one predictor request in the two-stage prefetch
+// lifecycle (DESIGN.md §13). Queued requests (pfQueue) have reserved
+// nothing: ready is unset and the engine may still drop them at zero cost.
+// Issued requests (pfInflight) have walked the L2/DRAM path; ready is the
+// cycle their data arrives at the L1.
 type pendingPrefetch struct {
 	addr      mem.Addr
 	victim    mem.Addr
 	useVictim bool
 	ready     uint64
 }
+
+// pfQueuedReady is the pfTracker sentinel for a queued-but-unissued
+// request: the block is claimed (no duplicate enqueue) but no data is on
+// its way, so fetchLatency's merge path must not treat it as in flight.
+const pfQueuedReady = ^uint64(0)
 
 // Engine runs timing simulations. Create one per run.
 type Engine struct {
@@ -196,8 +216,17 @@ type Engine struct {
 
 	lastLoadDone uint64
 
+	// Two-stage prefetch lifecycle: pfQueue holds enqueued requests that
+	// have not touched the memory system yet; the issue stage moves them
+	// to pfInflight (bus reserved, L2/DRAM walked, ready computed) when
+	// they reach the queue head and a fill buffer is free. pfTracker maps
+	// a claimed block to its ready cycle — pfQueuedReady while the request
+	// is still queued — so duplicate enqueues are suppressed in both
+	// stages and demand misses can tell a real in-flight fetch from a
+	// cancellable queued one.
 	pfQueue     ring[pendingPrefetch]
-	pfTracker   map[mem.Addr]uint64 // in-flight prefetch -> ready cycle
+	pfInflight  ring[pendingPrefetch]
+	pfTracker   map[mem.Addr]uint64
 	mshrScratch []uint64
 
 	branchDebtMicro uint64
@@ -232,6 +261,9 @@ func NewEngine(p Params, l1cfg, l2cfg cache.Config) (*Engine, error) {
 	}
 	if p.IssueWidth < 1 || p.ROB < 1 || p.LSQ < 1 || p.MSHRs < 1 {
 		return nil, fmt.Errorf("cpu: core parameters must be positive")
+	}
+	if p.PrefetchInflight == 0 {
+		p.PrefetchInflight = p.MSHRs
 	}
 	l1, err := cache.New(l1cfg)
 	if err != nil {
@@ -350,14 +382,52 @@ func (e *Engine) mshrGate(at uint64) uint64 {
 	return dones[len(dones)-e.p.MSHRs]
 }
 
-// drainPrefetches completes in-flight prefetches whose data has arrived,
-// filling the L1 (and informing mirror-keeping predictors).
-func (e *Engine) drainPrefetches(now uint64, filler sim.PrefetchFillObserver) {
+// issuePrefetches is the issue stage of the two-stage lifecycle: requests
+// leave the queue head only while the prefetch engine has a free in-flight
+// buffer (PrefetchInflight). Only then is the bus reserved, the L2 walked
+// and DRAM engaged — a request dropped before reaching this point has
+// consumed no bandwidth anywhere. The bus/DRAM reservations queue behind
+// demand traffic like any other requester, so the in-flight window is what
+// limits issue: when completions cannot keep up, the window fills, the
+// queue backs up and overflows, dropping old unissued requests.
+func (e *Engine) issuePrefetches(now uint64) {
 	for e.pfQueue.len() > 0 {
-		if e.pfQueue.at(0).ready > now {
-			break
+		if e.pfInflight.len() >= e.p.PrefetchInflight {
+			break // fill buffers full: the head waits, still cancellable
 		}
 		pp := e.pfQueue.pop()
+		if e.l1.Probe(pp.addr) {
+			// A demand miss fetched the block while the request sat in
+			// the queue: the prefetch is moot, release its claim without
+			// any traffic (not a drop — nothing displaced it).
+			delete(e.pfTracker, pp.addr)
+			continue
+		}
+		grant := e.busL2.Reserve(now, 1+e.l1cfg.BlockSize/32, e.l1cfg.BlockSize)
+		l2res := e.l2.Access(pp.addr, false, now)
+		if l2res.Hit {
+			pp.ready = grant + uint64(e.l2cfg.HitLatency) + uint64(e.l1cfg.BlockSize/32)
+		} else {
+			pp.ready = e.dram.ReadBlock(grant+uint64(e.l2cfg.HitLatency), e.l1cfg.BlockSize)
+			e.pfOffChip += uint64(e.l1cfg.BlockSize) // split correct/incorrect at the end
+		}
+		e.res.PrefetchIssued++
+		e.pfInflight.push(pp)
+		e.pfTracker[pp.addr] = pp.ready
+	}
+}
+
+// drainPrefetches runs the issue stage, then completes issued prefetches
+// whose data has arrived, filling the L1 (and informing mirror-keeping
+// predictors). Fills complete in issue order: a later request whose data
+// arrives early waits behind the head, like the engine's FIFO fill queue.
+func (e *Engine) drainPrefetches(now uint64, filler sim.PrefetchFillObserver) {
+	e.issuePrefetches(now)
+	for e.pfInflight.len() > 0 {
+		if e.pfInflight.at(0).ready > now {
+			break
+		}
+		pp := e.pfInflight.pop()
 		delete(e.pfTracker, pp.addr)
 		if ev, inserted := e.l1.InsertPrefetch(pp.addr, pp.victim, pp.useVictim, now); inserted {
 			if e.p.DeadTimes != nil && ev.Valid {
@@ -393,8 +463,13 @@ func (e *Engine) fetchLatency(at uint64, addr, block mem.Addr, l1idx int, l1tag 
 	if res.Hit {
 		return at + uint64(e.l1cfg.HitLatency), false, false, 0
 	}
-	// In-flight prefetch to the same block: merge with it.
-	if ready, ok := e.pfTracker[block]; ok {
+	// Issued in-flight prefetch to the same block: merge with it (the data
+	// is already on its way; the miss completes when it arrives). A
+	// queued-unissued request is no such thing — nothing has been fetched —
+	// so the demand miss below takes the full path and pays full cost; the
+	// stale queue entry cancels itself at issue time (the block is resident
+	// by then).
+	if ready, ok := e.pfTracker[block]; ok && ready != pfQueuedReady {
 		done := ready
 		if m := at + uint64(e.l1cfg.HitLatency); done < m {
 			done = m
@@ -423,10 +498,16 @@ func (e *Engine) fetchLatency(at uint64, addr, block mem.Addr, l1idx int, l1tag 
 	return done, true, !l2res.Hit, offChip
 }
 
-// issuePrefetch models a predictor-initiated fetch: through L2, possibly
-// off chip, completing into the L1 when data arrives. L2-targeted
-// prefetches (GHB) fill only the L2.
-func (e *Engine) issuePrefetch(now uint64, p sim.Prediction) {
+// enqueuePrefetch is the enqueue stage of a predictor-initiated fetch: the
+// request joins the prefetch queue and claims its block, but touches no
+// bus or DRAM — that happens in issuePrefetches, when the request reaches
+// the queue head. On queue overflow, new requests replace old unissued
+// ones at the queue head (paper Section 5); since a queued request has
+// reserved nothing, the drop cancels the fetch outright: its claim is
+// released, later demand misses pay the full miss path, and the block may
+// be re-prefetched. L2-targeted prefetches (GHB) bypass the queue and fill
+// only the L2.
+func (e *Engine) enqueuePrefetch(now uint64, p sim.Prediction) {
 	if e.p.PerfectL1 {
 		return
 	}
@@ -445,36 +526,16 @@ func (e *Engine) issuePrefetch(now uint64, p sim.Prediction) {
 	if e.l1.Probe(block) {
 		return
 	}
-	if _, inflight := e.pfTracker[block]; inflight {
-		return
+	if _, claimed := e.pfTracker[block]; claimed {
+		return // already queued or in flight
 	}
 	if e.pfQueue.len() >= e.p.PrefetchQueue {
-		// The request queue is full: new requests replace old unissued
-		// ones at the queue head (paper Section 5: "new requests replace
-		// old (unissued) ones at the queue head"). KNOWN MODEL
-		// SIMPLIFICATION, kept verbatim because experiment fingerprints
-		// pin it: the dropped request's pfTracker entry is not removed, so
-		// its L1 fill is lost but later demand misses to the block keep
-		// taking fetchLatency's merge path (at stale cost, no new bus
-		// traffic) and re-prefetching the block stays suppressed. The
-		// bus/DRAM reservation already happened at issue, so a correct
-		// drop needs the issue deferred until the request leaves the
-		// queue — see ROADMAP "prefetch-queue drop model rework".
-		e.pfQueue.pop()
+		dropped := e.pfQueue.pop()
+		delete(e.pfTracker, dropped.addr)
 		e.res.PrefetchDrops++
 	}
-	grant := e.busL2.Reserve(now, 1+e.l1cfg.BlockSize/32, e.l1cfg.BlockSize)
-	l2res := e.l2.Access(block, false, now)
-	var ready uint64
-	if l2res.Hit {
-		ready = grant + uint64(e.l2cfg.HitLatency) + uint64(e.l1cfg.BlockSize/32)
-	} else {
-		ready = e.dram.ReadBlock(grant+uint64(e.l2cfg.HitLatency), e.l1cfg.BlockSize)
-		e.pfOffChip += uint64(e.l1cfg.BlockSize) // split correct/incorrect at the end
-	}
-	e.res.PrefetchIssued++
-	e.pfQueue.push(pendingPrefetch{addr: block, victim: p.Victim, useVictim: p.UseVictim, ready: ready})
-	e.pfTracker[block] = ready
+	e.pfQueue.push(pendingPrefetch{addr: block, victim: p.Victim, useVictim: p.UseVictim})
+	e.pfTracker[block] = pfQueuedReady
 }
 
 // Run drives the reference stream through the timing model with the given
@@ -602,7 +663,7 @@ func (e *Engine) step(ref trace.Ref, i int, pf sim.Prefetcher, filler sim.Prefet
 		if e.geo.BlockAddr(p.Addr) == block {
 			continue
 		}
-		e.issuePrefetch(e.cycle, p)
+		e.enqueuePrefetch(e.cycle, p)
 	}
 
 	// Charge the predictor's own off-chip traffic (LT-cords sequence

@@ -75,6 +75,81 @@ func TestPrefetchQueueOverflowDrops(t *testing.T) {
 	}
 }
 
+// A dropped prefetch must be a true cancellation: the request reserved no
+// bus or DRAM bandwidth, its pfTracker claim is released (no stale merge
+// target), and the block may be re-prefetched afterwards.
+func TestDroppedPrefetchCancelsFetch(t *testing.T) {
+	p := DefaultParams()
+	p.PrefetchQueue = 2
+	e := mustEngine(t, p)
+	a, b, c := mem.Addr(0x100000), mem.Addr(0x200000), mem.Addr(0x300000)
+	blkA := e.geo.BlockAddr(a)
+
+	e.enqueuePrefetch(0, sim.Prediction{Addr: a})
+	e.enqueuePrefetch(0, sim.Prediction{Addr: b})
+	if got := e.busL2.Requests() + e.memBus.Requests(); got != 0 {
+		t.Fatalf("enqueue stage made %d bus/DRAM reservations, want 0", got)
+	}
+	if ready, ok := e.pfTracker[blkA]; !ok || ready != pfQueuedReady {
+		t.Fatal("queued request must claim its block with the queued sentinel")
+	}
+
+	// Queue is full: the next request drops the oldest unissued one (a).
+	e.enqueuePrefetch(0, sim.Prediction{Addr: c})
+	if e.res.PrefetchDrops != 1 {
+		t.Fatalf("PrefetchDrops = %d want 1", e.res.PrefetchDrops)
+	}
+	if _, ok := e.pfTracker[blkA]; ok {
+		t.Fatal("dropped request left a stale pfTracker entry")
+	}
+	if got := e.busL2.Requests() + e.memBus.Requests(); got != 0 {
+		t.Fatalf("dropped request cost %d bus/DRAM reservations, want 0", got)
+	}
+	if e.res.PrefetchIssued != 0 {
+		t.Fatalf("PrefetchIssued = %d want 0 (nothing reached the issue stage)", e.res.PrefetchIssued)
+	}
+
+	// The dropped block is re-prefetchable: a new request claims it again.
+	e.enqueuePrefetch(0, sim.Prediction{Addr: a})
+	if ready, ok := e.pfTracker[blkA]; !ok || ready != pfQueuedReady {
+		t.Fatal("dropped block must be re-prefetchable")
+	}
+}
+
+// fetchLatency's merge path must distinguish issued-in-flight requests
+// (data on its way: the demand miss completes when it arrives) from
+// queued-unissued ones (nothing fetched: full miss path).
+func TestQueuedPrefetchDoesNotMerge(t *testing.T) {
+	e := mustEngine(t, DefaultParams())
+	a := mem.Addr(0x100000)
+	e.enqueuePrefetch(0, sim.Prediction{Addr: a})
+	done, l1miss, _, _ := e.fetchLatency(0, a, e.geo.BlockAddr(a), int(e.geo.Index(a)), e.geo.Tag(a), false)
+	if !l1miss {
+		t.Fatal("demand access to a queued-unissued block must take the full miss path")
+	}
+	if done < 200 {
+		t.Fatalf("full miss path must pay DRAM latency, done=%d", done)
+	}
+
+	// Issued in-flight request: the demand miss merges at its ready time.
+	e2 := mustEngine(t, DefaultParams())
+	b := mem.Addr(0x200000)
+	blkB := e2.geo.BlockAddr(b)
+	e2.enqueuePrefetch(0, sim.Prediction{Addr: b})
+	e2.issuePrefetches(0)
+	ready, ok := e2.pfTracker[blkB]
+	if !ok || ready == pfQueuedReady {
+		t.Fatal("issue stage must record a real ready time")
+	}
+	done, l1miss, _, _ = e2.fetchLatency(0, b, blkB, int(e2.geo.Index(b)), e2.geo.Tag(b), false)
+	if l1miss {
+		t.Fatal("demand access to an in-flight prefetch must merge, not miss")
+	}
+	if done != ready {
+		t.Fatalf("merged access completes at the prefetch ready time: done=%d ready=%d", done, ready)
+	}
+}
+
 // Warmup accounting: measured region excludes the configured prefix.
 func TestWarmupMeasuredRegion(t *testing.T) {
 	p := DefaultParams()

@@ -107,12 +107,18 @@ func TestPerfectL1IsUpperBound(t *testing.T) {
 	}
 }
 
-// LT-cords speedup: on a correlated sweep, the predictor-equipped machine
-// must be materially faster than baseline and bounded by perfect L1.
+// LT-cords speedup: on a correlated latency-bound sweep, the
+// predictor-equipped machine must be materially faster than baseline and
+// bounded by perfect L1. The sweep carries a compute gap so the baseline is
+// exposed-latency-bound with spare bus bandwidth: a gap-free sweep
+// saturates the memory bus with demand transfers alone, and a prefetcher
+// that (honestly accounted) only adds metadata and mispredicted bytes
+// cannot speed up a bandwidth-bound run.
 func TestLTCordsSpeedsUpTimingRun(t *testing.T) {
 	mk := func() trace.Source {
 		return workload.ArraySweep(workload.SweepConfig{
 			Base: 0x100000, Arrays: 2, Elems: 16384, Stride: 64, Iters: 5, PCBase: 0x10,
+			Gap: workload.Gaps{Mean: 30},
 		})
 	}
 	base := mustEngine(t, DefaultParams()).Run(mk(), sim.Null{})

@@ -194,6 +194,9 @@ type Stats struct {
 	TableHits   uint64
 	Predictions uint64
 	Evictions   uint64 // finite-table entry replacements
+	// MirrorDivergences counts history-mirror installs whose victim was
+	// absent from the mirror set (zero for a consistent driver).
+	MirrorDivergences uint64
 }
 
 // Predictor is a DBCP instance. It implements sim.Prefetcher and
@@ -286,7 +289,11 @@ func (pr *Predictor) Name() string {
 }
 
 // Stats returns a copy of the event counters.
-func (pr *Predictor) Stats() Stats { return pr.stats }
+func (pr *Predictor) Stats() Stats {
+	s := pr.stats
+	s.MirrorDivergences = pr.hist.Divergences()
+	return s
+}
 
 // Entries reports the table capacity in entries (0 = unlimited).
 func (pr *Predictor) Entries() int {

@@ -35,7 +35,9 @@ func MaterializedTrace(dir *cachedir.Dir, p workload.Preset, sc workload.Scale, 
 // meanings, the gob encoding of a result type, or the trace container
 // format. Stale entries are then stranded under the old stamp (and
 // eventually evicted) instead of ever being served. See DESIGN.md §12.
-const CacheVersion = "exp1"
+// exp2: two-stage prefetch-issue lifecycle (drops cancel, no stale
+// merges) and context-banked shared predictor state.
+const CacheVersion = "exp2"
 
 // OpenCache opens the persistent cell/trace cache rooted at dir with the
 // experiment harness's version stamp. Mode Off (or an empty dir) yields

@@ -403,9 +403,14 @@ func (o Options) consolCoverageCell(s *runner.Scheduler, progs []workload.Consol
 		if err != nil {
 			return sim.ShardedCoverage{}, err
 		}
+		// One predictor shared across the mix's private caches: the
+		// context-banked mirror (core.NewShared) keeps each cache's
+		// history in lockstep, and sequence storage scales with the
+		// consolidation degree.
+		contexts := len(progs)
 		return sim.Run(src,
-			func(int) sim.Prefetcher { return core.MustNew(sim.PaperL1D(), params) },
-			sim.Config{Contexts: len(progs), SharedState: true})
+			func(int) sim.Prefetcher { return core.MustNewShared(sim.PaperL1D(), params, contexts) },
+			sim.Config{Contexts: contexts, SharedState: true})
 	}}
 }
 

@@ -30,15 +30,17 @@ var consolMixes = []struct {
 // L1 pair per context), while predictor state is either partitioned per
 // context or shared across the whole mix. With partitioned state each
 // shard is exactly a standalone run of its program (the equivalence the
-// sharded engine is pinned to), so coverage is immune to the mix. Shared
-// state is the interesting failure: LT-cords' history table mirrors "the"
-// L1D tag array by set index, and set indices collide across contexts
-// (the disjoint 4GiB ranges only differ above bit 32), so with private
-// caches the one mirror is alternately rewritten by every context's
-// quantum and last-touch episodes that span a context switch are lost —
-// unlike fig11, where the two programs share one cache and the mirror
-// stays coherent. Only programs that retrain and predict within a single
-// quantum keep coverage.
+// sharded engine is pinned to), so coverage is immune to the mix. The
+// shared configuration is the consolidated-server design point the paper
+// argues for: one predictor serving every context's private cache.
+// Sharing is only sound with context-aware state (core.NewShared): the
+// history mirror is banked per context — set indices collide across
+// private shards, so an unbanked mirror desyncs immediately — and each
+// context records its own last-touch sequence into the shared frame
+// storage, since sequences only repeat within one core's miss stream.
+// With both banked, shared state retains near-partitioned coverage; the
+// residual gap is genuine contention in the shared signature cache and
+// direct-mapped frame conflicts between contexts' fragments.
 func runConsol(o Options) (*Report, error) {
 	quantum := suiteQuantum(o.Scale)
 
@@ -91,6 +93,6 @@ func runConsol(o Options) (*Report, error) {
 	rep.AddSection("", tab)
 	rep.Notes = append(rep.Notes,
 		"each context owns a private cache shard, so partitioned predictor state keeps every program at standalone-class coverage regardless of mix size",
-		"shared predictor state desyncs the tag-array mirror (set indices collide across private shards), so only programs that retrain within one quantum keep coverage: consolidation needs per-context predictor state")
+		"shared predictor state banks the history mirror and the recording stream per context (core.NewShared), so one consolidated predictor retains near-partitioned coverage; the residual gap is contention in the shared signature cache and direct-mapped frame conflicts between contexts")
 	return rep, nil
 }

@@ -81,15 +81,43 @@ func (e *lineEntry) signature(setIdx int) Signature {
 
 // Table is the history table: a tag-array mirror with per-line trace state.
 type Table struct {
-	lines []lineEntry
-	assoc int
-	sets  int
+	lines       []lineEntry
+	assoc       int
+	sets        int
+	banks       int
+	divergences uint64
 }
 
 // New creates a history table mirroring a cache with the given geometry.
 func New(sets, assoc int) *Table {
-	return &Table{lines: make([]lineEntry, sets*assoc), assoc: assoc, sets: sets}
+	return &Table{lines: make([]lineEntry, sets*assoc), assoc: assoc, sets: sets, banks: 1}
 }
+
+// NewBanked creates a history table banked per context: banks independent
+// sets×assoc tag-array mirrors in one Table. Bank b's set s is row
+// b*sets+s (the caller folds the context into the set index it passes to
+// Access/PrefetchFill); the row index participates in every signature, so
+// identical (set, tag) pairs in different banks produce distinct
+// signatures and eviction episodes never cross contexts. NewBanked(s, a, 1)
+// is exactly New(s, a): a single-context mirror is the degenerate bank.
+func NewBanked(sets, assoc, banks int) *Table {
+	if banks < 1 {
+		banks = 1
+	}
+	t := New(sets*banks, assoc)
+	t.banks = banks
+	return t
+}
+
+// Banks returns the number of per-context banks (1 for New).
+func (t *Table) Banks() int { return t.banks }
+
+// Divergences counts installs that found neither the named victim nor a
+// free way in the mirror set — the mirror disagreeing with the cache it
+// shadows. A consistent driver (private mirror per cache, or one bank per
+// context when one predictor serves several private caches) never
+// diverges; a non-zero count means eviction episodes are being corrupted.
+func (t *Table) Divergences() uint64 { return t.divergences }
 
 // Sets returns the number of sets.
 func (t *Table) Sets() int { return t.sets }
@@ -128,8 +156,12 @@ func (t *Table) install(setIdx int, set []lineEntry, newTag, victimTag mem.Addr,
 		}
 	}
 	if w < 0 {
-		// Mirror divergence (should not happen with a consistent driver):
-		// reuse way 0 without producing a signature for its occupant.
+		// Mirror divergence: the driver displaced a block the mirror does
+		// not hold (e.g. one shared unbanked mirror behind several private
+		// caches whose set contents differ). Reuse way 0 without producing
+		// a signature for its occupant, and count the corruption so
+		// predictor stats can surface it.
+		t.divergences++
 		w = 0
 		set[w] = lineEntry{tag: newTag, valid: true, prevTag: set[w].tag, havePrev: set[w].valid}
 		return 0, false

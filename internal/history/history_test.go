@@ -230,3 +230,75 @@ func BenchmarkAccess(b *testing.B) {
 		tab.Access(set, mem.Addr(i&1023), mem.Addr(i), 0, false)
 	}
 }
+
+// A banked table is independent per-context mirrors: the same (set, tag)
+// episode replayed in two banks yields distinct signatures (the row index
+// participates), and activity in one bank never disturbs another's lines.
+func TestBankedIsolation(t *testing.T) {
+	tb := NewBanked(4, 2, 2)
+	if tb.Banks() != 2 || tb.Sets() != 8 {
+		t.Fatalf("NewBanked(4,2,2): banks=%d sets=%d, want 2, 8", tb.Banks(), tb.Sets())
+	}
+	const set = 1
+	bank := func(b int) int { return b*4 + set }
+
+	// Identical episode in both banks: fill A, touch it, displace with B.
+	var sigs [2]Signature
+	for b := 0; b < 2; b++ {
+		tb.Access(bank(b), 0xA0, 0x10, 0, false)
+		tb.Access(bank(b), 0xA0, 0x14, 0, false)
+		tb.Access(bank(b), 0xB0, 0x18, 0, false) // fills the free way
+		evictSig, ok, _ := tb.Access(bank(b), 0xC0, 0x1C, 0xA0, true)
+		if !ok {
+			t.Fatalf("bank %d: displacing A0 produced no eviction signature", b)
+		}
+		sigs[b] = evictSig
+	}
+	if sigs[0] == sigs[1] {
+		t.Errorf("identical episodes in different banks share signature %#x", sigs[0])
+	}
+	// Bank 0's episode never touched bank 1's rows: A0 still resident there.
+	if _, ok := tb.PeekSig(bank(1), 0xC0); !ok {
+		t.Error("bank 1 lost its own install")
+	}
+	if tb.Divergences() != 0 {
+		t.Errorf("consistent banked episodes diverged %d times", tb.Divergences())
+	}
+}
+
+// NewBanked with one bank is exactly New: same geometry, same signatures.
+func TestBankedDegenerate(t *testing.T) {
+	a, b := New(8, 2), NewBanked(8, 2, 1)
+	if a.Sets() != b.Sets() || a.Assoc() != b.Assoc() || b.Banks() != 1 {
+		t.Fatal("NewBanked(8,2,1) geometry differs from New(8,2)")
+	}
+	for i := 0; i < 32; i++ {
+		set, tag, pc := i%8, mem.Addr(0x100+i), mem.Addr(0x40+i)
+		_, _, sa := a.Access(set, tag, pc, 0, false)
+		_, _, sb := b.Access(set, tag, pc, 0, false)
+		if sa != sb {
+			t.Fatalf("access %d: New sig %#x != NewBanked(…,1) sig %#x", i, sa, sb)
+		}
+	}
+}
+
+// Displacing a block the mirror does not hold is counted as a divergence
+// and produces no eviction signature (the corrupted episode is dropped,
+// not fabricated).
+func TestDivergenceCounted(t *testing.T) {
+	tb := New(4, 1)
+	tb.Access(0, 0xA0, 0x10, 0, false)
+	// Claim the cache displaced 0xB0 — a tag the mirror never held; the
+	// single way is valid, so there is no free way either.
+	sig, ok, _ := tb.Access(0, 0xC0, 0x14, 0xB0, true)
+	if ok || sig != 0 {
+		t.Errorf("diverged install returned signature %#x ok=%v, want none", sig, ok)
+	}
+	if tb.Divergences() != 1 {
+		t.Errorf("Divergences() = %d, want 1", tb.Divergences())
+	}
+	// The mirror keeps tracking its reused way.
+	if _, okPeek := tb.PeekSig(0, 0xC0); !okPeek {
+		t.Error("diverged install did not take over a way")
+	}
+}

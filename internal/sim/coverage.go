@@ -170,6 +170,7 @@ type covShard struct {
 	pf               Prefetcher
 	early            EarlyEvictionObserver
 	filler           PrefetchFillObserver
+	ctxFiller        CtxPrefetchFillObserver
 	// pending[set] records the most recent predicted replacement block for
 	// the set, to distinguish incorrect from train on a miss. It is a
 	// dense per-set lane (set counts are small and fixed): the value is
@@ -226,6 +227,7 @@ func newCovShard(cfg *Config, pf Prefetcher) (*covShard, error) {
 	s.geo = s.main.Geometry()
 	s.early, _ = pf.(EarlyEvictionObserver)
 	s.filler, _ = pf.(PrefetchFillObserver)
+	s.ctxFiller, _ = pf.(CtxPrefetchFillObserver)
 	// The pending lane steals bit 0 of the block address as its presence
 	// marker (see the field comment), which requires blocks of at least
 	// two bytes; no real cache is sub-word, so reject rather than alias.
@@ -386,13 +388,20 @@ func (s *covShard) stepMain(ref trace.Ref, baseHit bool, write bool, now uint64)
 		if ev, inserted := s.main.InsertPrefetch(pblock, p.Victim, p.UseVictim, now); inserted {
 			s.cov.Prefetches++
 			s.pending[s.geo.Index(pblock)] = pblock | 1
-			if s.filler != nil {
+			if s.filler != nil || s.ctxFiller != nil {
 				var ep *cache.EvictInfo
 				if ev.Valid {
 					s.fillSlot = ev
 					ep = &s.fillSlot
 				}
-				s.filler.OnPrefetchFill(pblock, ep)
+				// The fill landed in the current reference's context's
+				// cache: context-aware mirrors get that ctx, so shared
+				// predictor state updates the right bank.
+				if s.ctxFiller != nil {
+					s.ctxFiller.OnCtxPrefetchFill(int(ref.Ctx), pblock, ep)
+				} else {
+					s.filler.OnPrefetchFill(pblock, ep)
+				}
 			}
 			if s.cfg.WithL2 {
 				// The prefetch is serviced through the L2; the fill is

@@ -65,6 +65,17 @@ type PrefetchFillObserver interface {
 	OnPrefetchFill(block mem.Addr, evicted *cache.EvictInfo)
 }
 
+// CtxPrefetchFillObserver is the context-aware variant of
+// PrefetchFillObserver: drivers that route references to per-context
+// caches report which context's cache the fill landed in, so a predictor
+// shared across private caches (core.NewShared) can update that context's
+// mirror bank. Drivers prefer this interface when a prefetcher implements
+// it; single-context predictors treat every ctx alike, so the dispatch is
+// behavior-preserving for them.
+type CtxPrefetchFillObserver interface {
+	OnCtxPrefetchFill(ctx int, block mem.Addr, evicted *cache.EvictInfo)
+}
+
 // Null is the no-op predictor used for baseline runs.
 type Null struct{}
 

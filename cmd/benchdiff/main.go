@@ -30,6 +30,8 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+
+	"repro/internal/buildinfo"
 )
 
 // result is one parsed benchmark line.
@@ -183,7 +185,9 @@ func run() int {
 	oldPath := flag.String("old", "BENCH_core.json", "committed benchmark snapshot")
 	newPath := flag.String("new", "", "freshly measured snapshot to check")
 	maxRegress := flag.Float64("max-regress", 10, "allowed ns/op (and, for allocating benchmarks, B/op and allocs/op) regression in percent")
+	showVersion := buildinfo.VersionFlag("benchdiff")
 	flag.Parse()
+	showVersion()
 	if *newPath == "" {
 		fmt.Fprintln(os.Stderr, "benchdiff: -new is required")
 		return 2

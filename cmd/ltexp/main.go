@@ -36,12 +36,15 @@
 package main
 
 import (
-	"encoding/json"
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
+	"repro/internal/buildinfo"
 	"repro/internal/cachedir"
 	"repro/internal/exp"
 	"repro/internal/runner"
@@ -63,7 +66,9 @@ func main() {
 		cacheMod = flag.String("cache", "rw", "persistent cache mode: off|ro|rw")
 		cacheCap = flag.String("cache-cap", "0", "persistent cache size cap, e.g. 2G (0 = unlimited, LRU eviction)")
 	)
+	showVersion := buildinfo.VersionFlag("ltexp")
 	flag.Parse()
+	showVersion()
 
 	if *list {
 		for _, id := range exp.IDs() {
@@ -75,8 +80,9 @@ func main() {
 		fmt.Fprintln(os.Stderr, "ltexp: -exp required (try -list)")
 		os.Exit(2)
 	}
-	sc, err := workload.ParseScale(*scale)
-	if err != nil {
+	// Flag-shaped mistakes exit 2 (like cache mode/cap below); RunJob
+	// re-validates the scale for the daemon path, where it is a 400.
+	if _, err := workload.ParseScale(*scale); err != nil {
 		fmt.Fprintln(os.Stderr, "ltexp:", err)
 		os.Exit(2)
 	}
@@ -103,60 +109,42 @@ func main() {
 	if cdir != nil {
 		sched.SetStore(cdir)
 	}
-	opts := exp.Options{Scale: sc, Seed: *seed, Parallelism: *parallel, Workers: *workers, Runner: sched, Cache: cdir}
+	// The CLI is one job through the same entry point the daemon uses
+	// (exp.RunJob): spec normalization, per-experiment dispatch with
+	// cancellation, and report rendering are one shared code path.
+	spec := exp.JobSpec{
+		Experiments: []string{*expID},
+		Scale:       *scale,
+		Seed:        *seed,
+		Workers:     *workers,
+		Cache:       cdir,
+	}
 	if *benches != "" {
-		opts.Benchmarks = strings.Split(*benches, ",")
+		spec.Benchmarks = strings.Split(*benches, ",")
 	}
 	if !*quiet {
-		opts.Progress = os.Stderr
+		spec.Progress = os.Stderr
 	}
+	// Ctrl-C cancels the job: queued cells abort, in-flight cells finish
+	// (and, with -cache-dir, persist — an interrupted sweep resumes warm).
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
-	ids := []string{*expID}
-	if *expID == "all" {
-		ids = exp.IDs()
-	}
-	var reports []*exp.Report
-	for _, id := range ids {
-		rep, err := exp.Run(id, opts)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "ltexp: %s: %v\n", id, err)
-			os.Exit(1)
-		}
-		if *jsonOut {
-			reports = append(reports, rep)
-			continue
-		}
-		rep.Render(os.Stdout)
-		fmt.Println()
+	res, err := exp.RunJob(ctx, spec, sched)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ltexp:", err)
+		os.Exit(1)
 	}
 	if *jsonOut {
-		enc := json.NewEncoder(os.Stdout)
-		enc.SetIndent("", "  ")
-		var cc *cachedir.Counters
-		if cdir != nil {
-			snap := cdir.Counters()
-			cc = &snap
-		}
-		if err := enc.Encode(struct {
-			Scale       string             `json:"scale"`
-			Seed        uint64             `json:"seed"`
-			Parallelism int                `json:"parallelism"`
-			Reports     []*exp.Report      `json:"reports"`
-			Cells       runner.Stats       `json:"cells"`
-			Cache       *cachedir.Counters `json:"cache,omitempty"`
-		}{*scale, *seed, sched.Parallelism(), reports, sched.Stats(), cc}); err != nil {
-			fmt.Fprintln(os.Stderr, "ltexp:", err)
-			os.Exit(1)
-		}
+		err = res.RenderJSON(os.Stdout)
+	} else {
+		err = res.RenderText(os.Stdout)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ltexp:", err)
+		os.Exit(1)
 	}
 	if !*quiet {
-		st := sched.Stats()
-		fmt.Fprintf(os.Stderr, "cells: %d submitted, %d simulated, %d cache hits (%.1f%% eliminated)\n",
-			st.Submitted, st.Executed, st.Hits, st.HitRate()*100)
-		if cdir != nil {
-			cc := cdir.Counters()
-			fmt.Fprintf(os.Stderr, "cache(%s): %d disk hits, %d persisted; traces: %d hits, %d stored; %d bad entries repaired, %d evicted (%s)\n",
-				cdir.Mode(), st.DiskHits, st.Persisted, cc.TraceHits, cc.TracePuts, cc.BadEntries, cc.EvictedEntries, cdir.Root())
-		}
+		fmt.Fprintln(os.Stderr, res.Summary())
 	}
 }

@@ -32,6 +32,7 @@ import (
 	"runtime"
 	"runtime/pprof"
 
+	"repro/internal/buildinfo"
 	"repro/internal/cache"
 	"repro/internal/cachedir"
 	"repro/internal/core"
@@ -91,7 +92,9 @@ func run() int {
 		cacheDir = flag.String("cache-dir", "", "persistent trace cache directory shared with ltexp (empty = regenerate)")
 		cacheMod = flag.String("cache", "rw", "trace cache mode: off|ro|rw")
 	)
+	showVersion := buildinfo.VersionFlag("ltsim")
 	flag.Parse()
+	showVersion()
 
 	if *cpuProf != "" {
 		f, err := os.Create(*cpuProf)

@@ -33,6 +33,7 @@ import (
 	"os"
 	"runtime"
 
+	"repro/internal/buildinfo"
 	"repro/internal/trace"
 	"repro/internal/workload"
 )
@@ -57,7 +58,9 @@ func main() {
 		verify = flag.Bool("verify", false, "treat -in as an indexed store: recompute stream stats chunk-parallel and check them against the header")
 		nwork  = flag.Int("workers", 0, "worker goroutines for -verify (0 = GOMAXPROCS)")
 	)
+	showVersion := buildinfo.VersionFlag("lttrace")
 	flag.Parse()
+	showVersion()
 
 	switch {
 	case *verify && *in != "":

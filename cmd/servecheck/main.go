@@ -1,0 +1,283 @@
+// Command servecheck is the CI gate for the ltexpd daemon
+// (make serve-check): an end-to-end smoke over real binaries and real
+// HTTP. It
+//
+//  1. builds ltexpd and ltexp, starts the daemon against a fresh cache
+//     directory and waits for /readyz,
+//  2. uploads an LTCX trace into the trace tier (and re-uploads it,
+//     checking the content-addressed dedup),
+//  3. submits an experiment job, polls it to done, and diffs the
+//     /report bytes against a local `ltexp` run of the same spec — the
+//     byte-identity contract that lets clients treat daemon reports and
+//     local reports interchangeably,
+//  4. resubmits the identical job and fails unless the second run
+//     reports zero executed simulations (every cell a cache hit on the
+//     shared scheduler), and
+//  5. stops the daemon with SIGTERM and requires a clean exit.
+//
+// Usage:
+//
+//	servecheck                 # fig11, small scale, fresh temp cache
+//	servecheck -exp consol     # a different experiment id
+//	servecheck -keep -dir /tmp/sc   # inspect the cache afterwards
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"repro/internal/buildinfo"
+	"repro/internal/mem"
+	"repro/internal/trace"
+)
+
+var client = &http.Client{Timeout: 30 * time.Second}
+
+func main() {
+	var (
+		expID   = flag.String("exp", "fig11", "experiment id to run through the daemon")
+		scale   = flag.String("scale", "small", "workload scale")
+		dir     = flag.String("dir", "", "cache directory for the daemon (default: fresh temp dir)")
+		keep    = flag.Bool("keep", false, "keep the cache directory afterwards")
+		timeout = flag.Duration("timeout", 10*time.Minute, "overall job deadline")
+	)
+	showVersion := buildinfo.VersionFlag("servecheck")
+	flag.Parse()
+	showVersion()
+
+	bin, err := os.MkdirTemp("", "servecheck-bin-*")
+	if err != nil {
+		fail(err)
+	}
+	defer os.RemoveAll(bin)
+	root := *dir
+	if root == "" {
+		if root, err = os.MkdirTemp("", "servecheck-cache-*"); err != nil {
+			fail(err)
+		}
+	}
+	if !*keep {
+		defer os.RemoveAll(root)
+	}
+
+	// Real binaries: the smoke must cover the daemon's own wiring
+	// (flag parsing, scheduler/cache assembly, signal handling), not a
+	// re-implementation of it.
+	ltexpd := filepath.Join(bin, "ltexpd")
+	ltexp := filepath.Join(bin, "ltexp")
+	for path, pkg := range map[string]string{ltexpd: "./cmd/ltexpd", ltexp: "./cmd/ltexp"} {
+		build := exec.Command("go", "build", "-o", path, pkg)
+		build.Stderr = os.Stderr
+		if err := build.Run(); err != nil {
+			fail(fmt.Errorf("go build %s: %w", pkg, err))
+		}
+	}
+
+	addr := freeAddr()
+	base := "http://" + addr
+	daemon := exec.Command(ltexpd, "-addr", addr, "-cache-dir", root)
+	daemon.Stderr = os.Stderr
+	if err := daemon.Start(); err != nil {
+		fail(err)
+	}
+	stopped := false
+	defer func() {
+		if !stopped {
+			daemon.Process.Kill()
+			daemon.Wait()
+		}
+	}()
+
+	waitReady(base)
+	checkHealth(base)
+	checkTraceUpload(base)
+
+	spec := fmt.Sprintf(`{"experiments":[%q],"scale":%q}`, *expID, *scale)
+	deadline := time.Now().Add(*timeout)
+
+	// First submission: a cold job that must match a local ltexp run
+	// byte for byte.
+	first := runJob(base, spec, deadline)
+	report := get(base + "/v1/jobs/" + first + "/report")
+	local := exec.Command(ltexp, "-exp", *expID, "-scale", *scale, "-q")
+	local.Stderr = os.Stderr
+	want, err := local.Output()
+	if err != nil {
+		fail(fmt.Errorf("local ltexp run: %w", err))
+	}
+	if !bytes.Equal(report, want) {
+		fmt.Fprintf(os.Stderr, "servecheck: FAIL: daemon report differs from local ltexp output\n--- daemon (%d bytes) ---\n%s--- local (%d bytes) ---\n%s", len(report), report, len(want), want)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "servecheck: report byte-identical to ltexp (%d bytes)\n", len(report))
+
+	// Second submission of the identical spec: the shared scheduler must
+	// serve every cell from cache — zero simulations.
+	second := runJob(base, spec, deadline)
+	var status struct {
+		Cells *struct {
+			Submitted int64 `json:"submitted"`
+			Executed  int64 `json:"executed"`
+		} `json:"cells"`
+	}
+	mustJSON(get(base+"/v1/jobs/"+second), &status)
+	if status.Cells == nil || status.Cells.Executed != 0 {
+		fail(fmt.Errorf("second submission executed simulations: %+v (want 0)", status.Cells))
+	}
+	fmt.Fprintf(os.Stderr, "servecheck: resubmission served %d cells with 0 simulations\n", status.Cells.Submitted)
+
+	// Graceful stop: SIGTERM drains and exits cleanly.
+	if err := daemon.Process.Signal(os.Interrupt); err != nil {
+		fail(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- daemon.Wait() }()
+	select {
+	case err := <-done:
+		stopped = true
+		if err != nil {
+			fail(fmt.Errorf("daemon exited uncleanly: %w", err))
+		}
+	case <-time.After(time.Minute):
+		fail(fmt.Errorf("daemon did not exit within 1m of SIGTERM"))
+	}
+	fmt.Fprintln(os.Stderr, "servecheck: OK")
+}
+
+// freeAddr picks an available loopback port for the daemon.
+func freeAddr() string {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		fail(err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+	return addr
+}
+
+// waitReady polls /readyz until the daemon accepts requests.
+func waitReady(base string) {
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := client.Get(base + "/readyz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return
+			}
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	fail(fmt.Errorf("daemon never became ready at %s", base))
+}
+
+// checkHealth validates the /healthz identity payload.
+func checkHealth(base string) {
+	var h struct {
+		Status       string `json:"status"`
+		Version      string `json:"version"`
+		CacheVersion string `json:"cache_version"`
+	}
+	mustJSON(get(base+"/healthz"), &h)
+	if h.Status != "ok" || h.Version == "" || h.CacheVersion == "" {
+		fail(fmt.Errorf("healthz = %+v", h))
+	}
+}
+
+// checkTraceUpload uploads an LTCX store and re-uploads it, checking
+// the 201-then-200 content-addressed dedup contract.
+func checkTraceUpload(base string) {
+	refs := make([]trace.Ref, 5000)
+	for i := range refs {
+		refs[i] = trace.Ref{PC: mem.Addr(0x1000 + 4*i), Addr: mem.Addr(0x80000 + 64*i), Gap: 1}
+	}
+	var buf bytes.Buffer
+	if _, err := trace.Materialize(trace.NewSliceSource(refs)).WriteTo(&buf); err != nil {
+		fail(err)
+	}
+	raw := buf.Bytes()
+	post := func() (int, string) {
+		resp, err := client.Post(base+"/v1/traces", "application/octet-stream", bytes.NewReader(raw))
+		if err != nil {
+			fail(err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		var out struct {
+			Digest string `json:"digest"`
+		}
+		json.Unmarshal(body, &out)
+		return resp.StatusCode, out.Digest
+	}
+	code1, digest1 := post()
+	code2, digest2 := post()
+	if code1 != http.StatusCreated || code2 != http.StatusOK || digest1 == "" || digest1 != digest2 {
+		fail(fmt.Errorf("trace upload: first %d/%s, second %d/%s (want 201 then deduped 200, same digest)", code1, digest1, code2, digest2))
+	}
+	fmt.Fprintf(os.Stderr, "servecheck: trace upload + dedup OK (%s, %d bytes)\n", digest1[:12], len(raw))
+}
+
+// runJob submits a job and polls it to done, returning the job id.
+func runJob(base, spec string, deadline time.Time) string {
+	resp, err := client.Post(base+"/v1/jobs", "application/json", strings.NewReader(spec))
+	if err != nil {
+		fail(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		fail(fmt.Errorf("submit: %d %s", resp.StatusCode, body))
+	}
+	var st struct {
+		ID    string `json:"id"`
+		State string `json:"state"`
+	}
+	mustJSON(body, &st)
+	for time.Now().Before(deadline) {
+		mustJSON(get(base+"/v1/jobs/"+st.ID), &st)
+		switch st.State {
+		case "done":
+			return st.ID
+		case "failed", "cancelled":
+			fail(fmt.Errorf("job %s resolved %s", st.ID, st.State))
+		}
+		time.Sleep(200 * time.Millisecond)
+	}
+	fail(fmt.Errorf("job %s did not finish before the deadline", st.ID))
+	return ""
+}
+
+// get fetches a URL, failing the check on any non-2xx.
+func get(url string) []byte {
+	resp, err := client.Get(url)
+	if err != nil {
+		fail(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode/100 != 2 {
+		fail(fmt.Errorf("GET %s: %d %s", url, resp.StatusCode, body))
+	}
+	return body
+}
+
+func mustJSON(b []byte, v any) {
+	if err := json.Unmarshal(b, v); err != nil {
+		fail(fmt.Errorf("bad JSON %q: %w", b, err))
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "servecheck:", err)
+	os.Exit(1)
+}

@@ -25,6 +25,7 @@ import (
 	"os"
 	"strings"
 
+	"repro/internal/buildinfo"
 	"repro/internal/cachedir"
 	"repro/internal/exp"
 	"repro/internal/runner"
@@ -40,7 +41,9 @@ func main() {
 		dir      = flag.String("dir", "", "cache directory to use (default: fresh temp dir)")
 		keep     = flag.Bool("keep", false, "keep the cache directory afterwards")
 	)
+	showVersion := buildinfo.VersionFlag("warmcheck")
 	flag.Parse()
+	showVersion()
 
 	sc, err := workload.ParseScale(*scale)
 	if err != nil {

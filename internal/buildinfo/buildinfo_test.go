@@ -1,0 +1,21 @@
+package buildinfo
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestStringCarriesIdentity(t *testing.T) {
+	s := String("ltexp")
+	for _, want := range []string{"ltexp", Version, CacheVersion, Commit(), "go1."} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q, missing %q", s, want)
+		}
+	}
+}
+
+func TestCommitNeverEmpty(t *testing.T) {
+	if Commit() == "" {
+		t.Error("Commit() must report \"unknown\" rather than empty")
+	}
+}

@@ -33,6 +33,7 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"fmt"
+	"io"
 	"io/fs"
 	"os"
 	"path/filepath"
@@ -381,6 +382,72 @@ func (d *Dir) AddTrace(m *trace.Materialized) (string, error) {
 	d.tracePut.Add(1)
 	d.maybeEvict()
 	return digest, nil
+}
+
+// IngestTrace streams a serialized LTCX store (the bytes Materialized.
+// WriteTo emits — e.g. an ltexpd trace-upload request body) into the
+// traces tier. The content address is the sha256 of the streamed bytes,
+// computed while they spill to a staging file in the destination
+// directory; once the digest is known, an already-present entry wins
+// (dup=true, the staged copy is discarded — re-uploads are free) and a
+// new one is validated as a parseable store, fsynced and atomically
+// renamed into place, exactly the crash-safety contract of AddTrace.
+// A stream that is not a structurally valid store is rejected without
+// touching the tier. ReadOnly and disabled caches refuse ingestion.
+func (d *Dir) IngestTrace(r io.Reader) (digest string, size int64, dup bool, err error) {
+	if d == nil || d.mode != ReadWrite {
+		return "", 0, false, fmt.Errorf("cachedir: trace ingestion needs a read-write cache")
+	}
+	dir := filepath.Join(d.root, tracesSub)
+	if err := os.MkdirAll(dir, 0o777); err != nil {
+		return "", 0, false, err
+	}
+	tmp, err := os.CreateTemp(dir, "ingest*.tmp")
+	if err != nil {
+		return "", 0, false, err
+	}
+	defer func() {
+		tmp.Close()
+		os.Remove(tmp.Name()) // no-op once renamed
+	}()
+	h := sha256.New()
+	size, err = io.Copy(io.MultiWriter(tmp, h), r)
+	if err != nil {
+		return "", 0, false, err
+	}
+	digest = hex.EncodeToString(h.Sum(nil))
+	path := d.tracePath(digest)
+	if _, err := os.Stat(path); err == nil {
+		// Content-addressed dedup: the bytes are already here.
+		d.touch(path)
+		d.traceHits.Add(1)
+		return digest, size, true, nil
+	}
+	if err := tmp.Sync(); err != nil {
+		return "", 0, false, err
+	}
+	// Validate before publishing: only parseable stores enter the tier
+	// (a later OpenTrace would treat anything else as poison and delete
+	// it; rejecting now gives the uploader the error instead).
+	m, err := trace.OpenStore(tmp.Name())
+	if err != nil {
+		return "", 0, false, fmt.Errorf("cachedir: not a valid trace store: %w", err)
+	}
+	m.Close()
+	if err := os.MkdirAll(filepath.Dir(path), 0o777); err != nil {
+		return "", 0, false, err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return "", 0, false, err
+	}
+	if df, err := os.Open(filepath.Dir(path)); err == nil {
+		df.Sync() // make the rename durable; optional on some filesystems
+		df.Close()
+	}
+	d.size.Add(size)
+	d.tracePut.Add(1)
+	d.maybeEvict()
+	return digest, size, false, nil
 }
 
 // OpenTrace maps a trace store previously persisted by AddTrace. A store

@@ -4,6 +4,7 @@ import (
 	"encoding/gob"
 	"fmt"
 
+	"repro/internal/buildinfo"
 	"repro/internal/cachedir"
 	"repro/internal/corr"
 	"repro/internal/runner"
@@ -27,17 +28,12 @@ func MaterializedTrace(dir *cachedir.Dir, p workload.Preset, sc workload.Scale, 
 }
 
 // CacheVersion is the code-version stamp mixed into every persistent
-// cache address (cachedir.Options.Version). Cell keys fingerprint every
-// *input* that affects a result; this stamp covers everything they
-// cannot see — the simulation semantics themselves. Bump it whenever a
-// change alters any cell's output for an unchanged key: generator or
-// predictor behavior, cache replacement details, result-struct field
-// meanings, the gob encoding of a result type, or the trace container
-// format. Stale entries are then stranded under the old stamp (and
-// eventually evicted) instead of ever being served. See DESIGN.md §12.
-// exp2: two-stage prefetch-issue lifecycle (drops cancel, no stale
-// merges) and context-banked shared predictor state.
-const CacheVersion = "exp2"
+// cache address (cachedir.Options.Version). It lives in
+// internal/buildinfo (alongside the release version and commit, so
+// -version flags and the daemon's /healthz report it); see the comment
+// there for the bump rules. This alias keeps the historical exp-side
+// spelling working.
+const CacheVersion = buildinfo.CacheVersion
 
 // OpenCache opens the persistent cell/trace cache rooted at dir with the
 // experiment harness's version stamp. Mode Off (or an empty dir) yields

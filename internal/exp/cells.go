@@ -59,7 +59,7 @@ func (o Options) materialized(s *runner.Scheduler, p workload.Preset, seed uint6
 	if o.Cache != nil {
 		codec = traceCodec{dir: o.Cache}
 	}
-	v, err := s.Do(runner.Cell{
+	v, err := s.DoCtx(o.ctx(), runner.Cell{
 		Key:   fmt.Sprintf("mat|%s|scale%d|seed%d", p.Name, o.Scale, seed),
 		Codec: codec,
 		Run: func() (any, error) {

@@ -9,6 +9,7 @@
 package exp
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -24,6 +25,13 @@ import (
 
 // Options parameterize an experiment run.
 type Options struct {
+	// Context, when non-nil, cancels the run: queued-but-unstarted
+	// simulation cells abort promptly (runner.AllCtx semantics — cells
+	// already executing finish and stay cached) and Run returns the
+	// context's error. Nil means context.Background(). The daemon threads
+	// each job's context here so a cancelled job releases the shared
+	// scheduler instead of grinding through its queue.
+	Context context.Context
 	// Scale selects workload size (default Small; Medium for paper-like
 	// runs).
 	Scale workload.Scale
@@ -71,6 +79,14 @@ func (o Options) sched() *runner.Scheduler {
 		s.SetStore(o.Cache)
 	}
 	return s
+}
+
+// ctx resolves the run's context.
+func (o Options) ctx() context.Context {
+	if o.Context != nil {
+		return o.Context
+	}
+	return context.Background()
 }
 
 func (o Options) workers() int {

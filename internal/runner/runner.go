@@ -24,6 +24,7 @@
 package runner
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -163,21 +164,32 @@ func New(parallelism int) *Scheduler {
 // acquire claims w admission tokens, blocking until they free up, and
 // returns the clamped weight to release. Clamping to capacity makes the
 // scheme deadlock-free: any single cell can always eventually be
-// admitted, whatever its declared weight.
-func (s *Scheduler) acquire(w int) int {
+// admitted, whatever its declared weight. A context cancellation while
+// waiting abandons the claim: acquire returns 0 tokens and the context's
+// error — the admission queue is exactly where "queued but unstarted"
+// cells park, so this is the seam that makes job cancellation prompt.
+func (s *Scheduler) acquire(ctx context.Context, w int) (int, error) {
 	if w < 1 {
 		w = 1
 	}
 	if w > s.workers {
 		w = s.workers
 	}
+	// Wake our cond wait when the context fires; Broadcast is cheap and
+	// spurious wakeups are already part of the cond contract.
+	stop := context.AfterFunc(ctx, func() { s.admit.Broadcast() })
+	defer stop()
 	s.admitMu.Lock()
 	for s.avail < w {
+		if err := ctx.Err(); err != nil {
+			s.admitMu.Unlock()
+			return 0, err
+		}
 		s.admit.Wait()
 	}
 	s.avail -= w
 	s.admitMu.Unlock()
-	return w
+	return w, nil
 }
 
 // release returns tokens claimed by acquire.
@@ -216,20 +228,60 @@ func (s *Scheduler) Stats() Stats {
 // Errors are memoized in memory only — they are never written to disk,
 // so a transient failure doesn't poison later runs.
 func (s *Scheduler) Do(c Cell) (any, error) {
+	return s.DoCtx(context.Background(), c)
+}
+
+// DoCtx is Do with cancellation: a cell whose context is done before its
+// Run starts is abandoned with the context's error instead of simulated.
+// Cancellation never poisons the cache — an abandoned cell is
+// un-published from the memo map, so a later submission of the same key
+// (from another job sharing the scheduler, or a retry) recomputes it —
+// and a waiter whose own context fires stops waiting immediately even
+// though the in-flight computation (owned by someone else) runs to
+// completion and stays cached. A cell already executing when its context
+// fires is not interrupted: cells are CPU-bound and run to completion;
+// promptness comes from the queued-but-unstarted cells, which are the
+// bulk of a batch.
+func (s *Scheduler) DoCtx(ctx context.Context, c Cell) (any, error) {
 	if c.Key == "" {
 		return nil, fmt.Errorf("runner: cell with empty key")
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	s.mu.Lock()
 	s.stats.Submitted++
 	if e, ok := s.cells[c.Key]; ok {
 		s.stats.Hits++
 		s.mu.Unlock()
-		<-e.done
+		select {
+		case <-e.done:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+		if isCanceled(e.err) && ctx.Err() == nil {
+			// The owner abandoned the cell before running it (its job was
+			// cancelled; the entry is gone from the map). Our context is
+			// still live, so resubmit: we either find a fresh in-flight
+			// entry or become the new owner.
+			return s.DoCtx(ctx, c)
+		}
 		return e.val, e.err
 	}
 	e := &entry{done: make(chan struct{})}
 	s.cells[c.Key] = e
 	s.mu.Unlock()
+	if err := ctx.Err(); err != nil {
+		// Cancelled between submission and start: un-publish so the key
+		// stays computable, and fail only the waiters (they recheck their
+		// own contexts above).
+		s.mu.Lock()
+		delete(s.cells, c.Key)
+		s.mu.Unlock()
+		e.err = err
+		close(e.done)
+		return nil, err
+	}
 	if v, ok := s.restore(c); ok {
 		e.val = v
 		s.count(func(st *Stats) { st.DiskHits++ })
@@ -246,6 +298,12 @@ func (s *Scheduler) Do(c Cell) (any, error) {
 	}
 	close(e.done)
 	return e.val, e.err
+}
+
+// isCanceled reports whether err is a context cancellation (direct or
+// deadline), as opposed to a real cell failure.
+func isCanceled(err error) bool {
+	return err != nil && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded))
 }
 
 // count applies one stats mutation under the scheduler lock.
@@ -297,7 +355,15 @@ func (s *Scheduler) persist(c Cell, v any) bool {
 // new cells and its error is returned. Cells already in flight run to
 // completion and stay cached.
 func (s *Scheduler) Map(cells []Cell) ([]any, error) {
-	return s.mapPool(cells, s.workers, true)
+	return s.MapCtx(context.Background(), cells)
+}
+
+// MapCtx is Map with cancellation: when ctx fires, workers stop claiming
+// queued cells (and abandon admission waits) immediately; cells already
+// executing run to completion and stay cached. The batch then fails with
+// the context's error unless an earlier cell error takes precedence.
+func (s *Scheduler) MapCtx(ctx context.Context, cells []Cell) ([]any, error) {
+	return s.mapPool(ctx, cells, s.workers, true)
 }
 
 // MapNested executes cells on up to n goroutines inside a running cell,
@@ -307,11 +373,11 @@ func (s *Scheduler) Map(cells []Cell) ([]any, error) {
 // outer cells (consolidation mixes that are prefixes of each other)
 // execute once. Results return in submission order.
 func (s *Scheduler) MapNested(cells []Cell, n int) ([]any, error) {
-	return s.mapPool(cells, n, false)
+	return s.mapPool(context.Background(), cells, n, false)
 }
 
 // mapPool is the shared worker-pool body of Map and MapNested.
-func (s *Scheduler) mapPool(cells []Cell, workers int, admit bool) ([]any, error) {
+func (s *Scheduler) mapPool(ctx context.Context, cells []Cell, workers int, admit bool) ([]any, error) {
 	out := make([]any, len(cells))
 	errs := make([]error, len(cells))
 	if workers > len(cells) {
@@ -329,15 +395,19 @@ func (s *Scheduler) mapPool(cells []Cell, workers int, admit bool) ([]any, error
 			defer wg.Done()
 			for {
 				i := int(next.Add(1)) - 1
-				if i >= len(cells) || failed.Load() {
+				if i >= len(cells) || failed.Load() || ctx.Err() != nil {
 					return
 				}
 				if admit {
-					held := s.acquire(cells[i].Weight)
-					out[i], errs[i] = s.Do(cells[i])
+					held, err := s.acquire(ctx, cells[i].Weight)
+					if err != nil {
+						errs[i] = err
+						return
+					}
+					out[i], errs[i] = s.DoCtx(ctx, cells[i])
 					s.release(held)
 				} else {
-					out[i], errs[i] = s.Do(cells[i])
+					out[i], errs[i] = s.DoCtx(ctx, cells[i])
 				}
 				if errs[i] != nil {
 					failed.Store(true)
@@ -346,6 +416,14 @@ func (s *Scheduler) mapPool(cells []Cell, workers int, admit bool) ([]any, error
 		}()
 	}
 	wg.Wait()
+	for _, err := range errs {
+		if err != nil && !isCanceled(err) {
+			return nil, err
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	for _, err := range errs {
 		if err != nil {
 			return nil, err
@@ -391,7 +469,12 @@ func assert[T any](tasks []Task[T], vals []any) ([]T, error) {
 // All executes typed tasks through the scheduler's Map and returns the
 // results in submission order.
 func All[T any](s *Scheduler, tasks []Task[T]) ([]T, error) {
-	vals, err := s.Map(erase(tasks, make([]Cell, 0, len(tasks))))
+	return AllCtx(context.Background(), s, tasks)
+}
+
+// AllCtx is All with cancellation (see MapCtx).
+func AllCtx[T any](ctx context.Context, s *Scheduler, tasks []Task[T]) ([]T, error) {
+	vals, err := s.MapCtx(ctx, erase(tasks, make([]Cell, 0, len(tasks))))
 	if err != nil {
 		return nil, err
 	}
@@ -413,8 +496,13 @@ func AllNested[T any](s *Scheduler, tasks []Task[T], n int) ([]T, error) {
 // worker-pool pass — no barrier between the batches, so workers drain
 // both without idling on the slowest cell of the first.
 func All2[A, B any](s *Scheduler, as []Task[A], bs []Task[B]) ([]A, []B, error) {
+	return All2Ctx(context.Background(), s, as, bs)
+}
+
+// All2Ctx is All2 with cancellation (see MapCtx).
+func All2Ctx[A, B any](ctx context.Context, s *Scheduler, as []Task[A], bs []Task[B]) ([]A, []B, error) {
 	cells := erase(bs, erase(as, make([]Cell, 0, len(as)+len(bs))))
-	vals, err := s.Map(cells)
+	vals, err := s.MapCtx(ctx, cells)
 	if err != nil {
 		return nil, nil, err
 	}

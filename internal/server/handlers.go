@@ -1,0 +1,229 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+
+	"repro/internal/buildinfo"
+	"repro/internal/cachedir"
+	"repro/internal/exp"
+	"repro/internal/runner"
+)
+
+// errorBody is the uniform error envelope.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, errorBody{Error: fmt.Sprintf(format, args...)})
+}
+
+// handleSubmit accepts a JobSpec and queues it.
+//
+//	POST /v1/jobs  {"experiments":["fig8"],"scale":"small","seed":1,
+//	                "benchmarks":["swim"],"workers":0}
+//	→ 202 {"id":"j...","state":"queued",...}
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec exp.JobSpec
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeError(w, http.StatusBadRequest, "bad job spec: %v", err)
+		return
+	}
+	j, err := s.mgr.Submit(spec)
+	if err != nil {
+		if errors.Is(err, ErrDraining) {
+			writeError(w, http.StatusServiceUnavailable, "%v", err)
+			return
+		}
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	w.Header().Set("Location", "/v1/jobs/"+j.ID)
+	writeJSON(w, http.StatusAccepted, j.Status(s.cfg.Sched))
+}
+
+// handleListJobs lists retained jobs, oldest first.
+func (s *Server) handleListJobs(w http.ResponseWriter, r *http.Request) {
+	jobs := s.mgr.Jobs()
+	out := make([]JobStatus, len(jobs))
+	for i, j := range jobs {
+		out[i] = j.Status(s.cfg.Sched)
+	}
+	writeJSON(w, http.StatusOK, struct {
+		Jobs []JobStatus `json:"jobs"`
+	}{out})
+}
+
+// job resolves the {id} path parameter, writing a 404 on a miss.
+func (s *Server) job(w http.ResponseWriter, r *http.Request) (*Job, bool) {
+	j, ok := s.mgr.Get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "no job %q", r.PathValue("id"))
+	}
+	return j, ok
+}
+
+// handleJobStatus reports one job: lifecycle, spec, and the job-scoped
+// scheduler/cache counters.
+func (s *Server) handleJobStatus(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.job(w, r)
+	if !ok {
+		return
+	}
+	writeJSON(w, http.StatusOK, j.Status(s.cfg.Sched))
+}
+
+// handleCancel cancels a job. Idempotent: cancelling a terminal job
+// reports its (unchanged) state.
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.mgr.Cancel(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "no job %q", r.PathValue("id"))
+		return
+	}
+	writeJSON(w, http.StatusAccepted, j.Status(s.cfg.Sched))
+}
+
+// handleEvents streams a job's lifecycle over SSE: a "state" event per
+// transition, a "progress" event per completed experiment step (replayed
+// from the start for late subscribers), and a final "done" event carrying
+// the terminal state.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.job(w, r)
+	if !ok {
+		return
+	}
+	fl, canFlush := w.(http.Flusher)
+	if !canFlush {
+		writeError(w, http.StatusInternalServerError, "streaming unsupported")
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+	fl.Flush()
+	ch, unsubscribe := j.Subscribe()
+	defer unsubscribe()
+	for {
+		select {
+		case e, live := <-ch:
+			if !live {
+				return
+			}
+			fmt.Fprintf(w, "event: %s\ndata: %s\n\n", e.Type, e.Data)
+			fl.Flush()
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+// handleReport serves a finished job's report: the text bytes a local
+// `ltexp` run prints (the default), or the -json envelope with
+// ?format=json. 409 until the job is done.
+func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.job(w, r)
+	if !ok {
+		return
+	}
+	res := j.Result()
+	if res == nil {
+		writeError(w, http.StatusConflict, "job %s is %s; report available once done", j.ID, j.State())
+		return
+	}
+	if r.URL.Query().Get("format") == "json" {
+		w.Header().Set("Content-Type", "application/json")
+		res.RenderJSON(w)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	res.RenderText(w)
+}
+
+// handleTraceUpload streams an LTCX store body into the cache's trace
+// tier (content-addressed: identical re-uploads are deduplicated).
+//
+//	curl -X POST --data-binary @trace.ltcx http://host/v1/traces
+//	→ 201 {"digest":"…","bytes":N,"deduped":false}
+func (s *Server) handleTraceUpload(w http.ResponseWriter, r *http.Request) {
+	if s.cfg.Cache == nil {
+		writeError(w, http.StatusServiceUnavailable, "no persistent cache configured (start ltexpd with -cache-dir)")
+		return
+	}
+	digest, n, dup, err := s.cfg.Cache.IngestTrace(r.Body)
+	if err != nil {
+		status := http.StatusBadRequest
+		if !strings.Contains(err.Error(), "not a valid trace store") {
+			status = http.StatusInternalServerError
+		}
+		writeError(w, status, "trace upload: %v", err)
+		return
+	}
+	status := http.StatusCreated
+	if dup {
+		status = http.StatusOK
+	}
+	writeJSON(w, status, struct {
+		Digest  string `json:"digest"`
+		Bytes   int64  `json:"bytes"`
+		Deduped bool   `json:"deduped"`
+	}{digest, n, dup})
+}
+
+// handleStats reports the daemon-wide view: cumulative scheduler
+// counters, persistent-cache counters and size, and the job table
+// tally.
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	var cc *cachedir.Counters
+	var size int64
+	if s.cfg.Cache != nil {
+		snap := s.cfg.Cache.Counters()
+		cc = &snap
+		size = s.cfg.Cache.Size()
+	}
+	writeJSON(w, http.StatusOK, struct {
+		Cells       runner.Stats       `json:"cells"`
+		Parallelism int                `json:"parallelism"`
+		Cache       *cachedir.Counters `json:"cache,omitempty"`
+		CacheBytes  int64              `json:"cache_bytes,omitempty"`
+		Jobs        map[JobState]int   `json:"jobs"`
+		UptimeSec   float64            `json:"uptime_s"`
+	}{s.cfg.Sched.Stats(), s.cfg.Sched.Parallelism(), cc, size, s.mgr.CountByState(), s.Uptime().Seconds()})
+}
+
+// handleHealthz is the liveness probe: identity and uptime.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, struct {
+		Status       string  `json:"status"`
+		Version      string  `json:"version"`
+		Commit       string  `json:"commit"`
+		CacheVersion string  `json:"cache_version"`
+		UptimeSec    float64 `json:"uptime_s"`
+	}{"ok", buildinfo.Version, buildinfo.Commit(), buildinfo.CacheVersion, s.Uptime().Seconds()})
+}
+
+// handleReadyz is the readiness probe: 503 once draining.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if !s.ready.Load() {
+		writeError(w, http.StatusServiceUnavailable, "draining")
+		return
+	}
+	writeJSON(w, http.StatusOK, struct {
+		Status string `json:"status"`
+	}{"ready"})
+}

@@ -1,0 +1,166 @@
+package server
+
+import (
+	"crypto/rand"
+	"crypto/subtle"
+	"encoding/hex"
+	"log"
+	"net/http"
+	"runtime/debug"
+	"strings"
+	"sync"
+	"time"
+)
+
+// The middleware chain, outermost first (see DESIGN.md §14):
+//
+//	requestID → requestLog → recover → auth → rateLimit → mux
+//
+// Request IDs come first so every later layer (including panic logs)
+// can attribute its output; logging wraps recovery so a panicked
+// request is still logged with its status; auth runs before the rate
+// limiter so unauthenticated scans cannot consume the token budget of
+// legitimate clients; /healthz and /readyz are mounted outside auth and
+// rate limiting so probes never need credentials.
+
+// requestIDHeader carries the request id to the client (and accepts a
+// caller-chosen one in, so a client can correlate daemon logs with its
+// own).
+const requestIDHeader = "X-Request-Id"
+
+// requestID assigns every request an id, echoing an inbound one.
+func requestID(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := r.Header.Get(requestIDHeader)
+		if id == "" || len(id) > 64 {
+			var b [8]byte
+			rand.Read(b[:])
+			id = hex.EncodeToString(b[:])
+		}
+		w.Header().Set(requestIDHeader, id)
+		r.Header.Set(requestIDHeader, id)
+		next.ServeHTTP(w, r)
+	})
+}
+
+// statusWriter captures the response code for the request log.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// Flush forwards flushing so SSE streaming survives the wrapper.
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// requestLog emits one line per request: id, method, path, status,
+// duration.
+func requestLog(logger *log.Logger, next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		start := time.Now()
+		next.ServeHTTP(sw, r)
+		logger.Printf("%s %s %s %d %s", r.Header.Get(requestIDHeader), r.Method, r.URL.Path, sw.status, time.Since(start).Round(time.Microsecond))
+	})
+}
+
+// recoverPanics converts a handler panic into a 500 instead of tearing
+// down the daemon's connection (and with it, every job in flight on
+// that client).
+func recoverPanics(logger *log.Logger, next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if v := recover(); v != nil {
+				logger.Printf("%s panic serving %s %s: %v\n%s", r.Header.Get(requestIDHeader), r.Method, r.URL.Path, v, debug.Stack())
+				writeError(w, http.StatusInternalServerError, "internal error")
+			}
+		}()
+		next.ServeHTTP(w, r)
+	})
+}
+
+// auth enforces API keys when any are configured. Keys arrive as
+// "X-API-Key: <key>" or "Authorization: Bearer <key>"; comparison is
+// constant-time. With no keys configured the daemon is open (the
+// local-development default).
+func auth(keys []string, next http.Handler) http.Handler {
+	if len(keys) == 0 {
+		return next
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		got := r.Header.Get("X-API-Key")
+		if got == "" {
+			if b := r.Header.Get("Authorization"); strings.HasPrefix(b, "Bearer ") {
+				got = strings.TrimPrefix(b, "Bearer ")
+			}
+		}
+		for _, k := range keys {
+			if subtle.ConstantTimeCompare([]byte(got), []byte(k)) == 1 {
+				next.ServeHTTP(w, r)
+				return
+			}
+		}
+		writeError(w, http.StatusUnauthorized, "missing or invalid API key")
+	})
+}
+
+// tokenBucket is a classic refill-on-demand limiter: capacity burst,
+// refilled at rate tokens/second. A zero rate disables limiting.
+type tokenBucket struct {
+	mu     sync.Mutex
+	tokens float64
+	last   time.Time
+	rate   float64
+	burst  float64
+	now    func() time.Time // test seam
+}
+
+func newTokenBucket(ratePerSec, burst float64) *tokenBucket {
+	if burst < 1 {
+		burst = 1
+	}
+	return &tokenBucket{tokens: burst, rate: ratePerSec, burst: burst, now: time.Now}
+}
+
+// allow consumes one token if available.
+func (tb *tokenBucket) allow() bool {
+	tb.mu.Lock()
+	defer tb.mu.Unlock()
+	now := tb.now()
+	if !tb.last.IsZero() {
+		tb.tokens += now.Sub(tb.last).Seconds() * tb.rate
+		if tb.tokens > tb.burst {
+			tb.tokens = tb.burst
+		}
+	}
+	tb.last = now
+	if tb.tokens < 1 {
+		return false
+	}
+	tb.tokens--
+	return true
+}
+
+// rateLimit rejects requests beyond the bucket with 429. rate 0
+// disables the limiter.
+func rateLimit(tb *tokenBucket, next http.Handler) http.Handler {
+	if tb == nil || tb.rate <= 0 {
+		return next
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if !tb.allow() {
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusTooManyRequests, "rate limit exceeded")
+			return
+		}
+		next.ServeHTTP(w, r)
+	})
+}

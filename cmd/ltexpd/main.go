@@ -59,6 +59,9 @@ func main() {
 		rate     = flag.Float64("rate", 0, "global request rate limit per second (0 = unlimited)")
 		burst    = flag.Float64("burst", 0, "rate limiter burst (default 2×rate)")
 		drainFor = flag.Duration("drain-timeout", 2*time.Minute, "how long shutdown waits for live jobs to resolve")
+		maxTrace = flag.String("max-trace-bytes", "4G", "largest accepted POST /v1/traces body, e.g. 512M (0 = unlimited; oversized uploads get 413)")
+		readTO   = flag.Duration("read-timeout", 30*time.Second, "http.Server ReadTimeout; SSE and trace-upload routes lift it per-connection")
+		idleTO   = flag.Duration("idle-timeout", 2*time.Minute, "http.Server IdleTimeout for keep-alive connections")
 	)
 	showVersion := buildinfo.VersionFlag("ltexpd")
 	flag.Parse()
@@ -75,7 +78,19 @@ func main() {
 	}
 	cdir, err := exp.OpenCache(*cacheDir, mode, capBytes)
 	if err != nil {
+		// An unusable cache directory is not fatal: the cache is an
+		// accelerator, never a dependency (DESIGN.md §15). Serve
+		// memory-only (trace uploads refused, /healthz reports cache
+		// "none") rather than refusing to start.
+		logger.Printf("cache-dir %s unusable (%v); serving memory-only", *cacheDir, err)
+		cdir = nil
+	}
+	maxTraceBytes, err := cachedir.ParseSize(*maxTrace)
+	if err != nil {
 		logger.Fatal(err)
+	}
+	if maxTraceBytes == 0 {
+		maxTraceBytes = -1 // flag "0" means unlimited; Config 0 means default
 	}
 	keys, err := loadKeys(*apiKey, *keyFile)
 	if err != nil {
@@ -97,6 +112,7 @@ func main() {
 		APIKeys:       keys,
 		RatePerSec:    *rate,
 		Burst:         *burst,
+		MaxTraceBytes: maxTraceBytes,
 		Logger:        logger,
 	})
 
@@ -104,6 +120,11 @@ func main() {
 		Addr:              *addr,
 		Handler:           srv.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
+		// ReadTimeout bounds slow-loris request bodies; the SSE and
+		// trace-upload handlers lift it per-connection via
+		// http.ResponseController, so long streams stay legal.
+		ReadTimeout: *readTO,
+		IdleTimeout: *idleTO,
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

@@ -6,12 +6,18 @@
 // store (lttrace -record, Spill) and the persistent result cache both
 // depend on this: a cache open trusts what it finds on disk, so a
 // torn write must be impossible rather than merely unlikely.
+//
+// Every step goes through a faultfs.FS seam (WriteFileFS), so the
+// fault-injection harness can script ENOSPC, torn writes, fsync and
+// rename failures against the exact code path production runs; the
+// plain WriteFile entry points bind the real filesystem.
 package atomicfile
 
 import (
 	"io"
-	"os"
 	"path/filepath"
+
+	"repro/internal/faultfs"
 )
 
 // WriteFile atomically replaces path with the bytes produced by write.
@@ -21,19 +27,30 @@ import (
 // file), and the directory entry is fsynced after it (so the rename
 // itself is durable). On any error the temporary file is removed and the
 // previous content of path, if any, is left untouched.
-func WriteFile(path string, write func(io.Writer) error) (err error) {
-	dir, base := filepath.Split(path)
-	if dir == "" {
-		dir = "."
-	}
-	tmp, err := os.CreateTemp(dir, base+".tmp*")
+func WriteFile(path string, write func(io.Writer) error) error {
+	return WriteFileFS(faultfs.OS, path, write)
+}
+
+// WriteFileBytes is WriteFile for in-memory content.
+func WriteFileBytes(path string, data []byte) error {
+	return WriteFileFS(faultfs.OS, path, func(w io.Writer) error {
+		_, err := w.Write(data)
+		return err
+	})
+}
+
+// WriteFileFS is WriteFile over an injected filesystem: the seam the
+// fault-injection harness drives. fsys must not be nil.
+func WriteFileFS(fsys faultfs.FS, path string, write func(io.Writer) error) (err error) {
+	dir, base := splitDir(path)
+	tmp, err := fsys.CreateTemp(dir, base+".tmp*")
 	if err != nil {
 		return err
 	}
 	defer func() {
 		if err != nil {
 			tmp.Close()
-			os.Remove(tmp.Name())
+			fsys.Remove(tmp.Name())
 		}
 	}()
 	if err = write(tmp); err != nil {
@@ -45,30 +62,29 @@ func WriteFile(path string, write func(io.Writer) error) (err error) {
 	if err = tmp.Close(); err != nil {
 		return err
 	}
-	if err = os.Rename(tmp.Name(), path); err != nil {
+	if err = fsys.Rename(tmp.Name(), path); err != nil {
 		return err
 	}
-	return syncDir(dir)
+	// Directory fsync makes the rename itself durable. The real
+	// filesystem ignores fsync-unsupported errors inside SyncDir (only a
+	// failed open surfaces); an injected sync fault does surface, so the
+	// harness can script it.
+	return fsys.SyncDir(dir)
 }
 
-// WriteFileBytes is WriteFile for in-memory content.
-func WriteFileBytes(path string, data []byte) error {
-	return WriteFile(path, func(w io.Writer) error {
+// WriteFileBytesFS is WriteFileFS for in-memory content.
+func WriteFileBytesFS(fsys faultfs.FS, path string, data []byte) error {
+	return WriteFileFS(fsys, path, func(w io.Writer) error {
 		_, err := w.Write(data)
 		return err
 	})
 }
 
-// syncDir fsyncs a directory so a completed rename survives a crash.
-// Filesystems that reject directory fsync (it is optional on some
-// platforms) don't get less durability than they can provide: the error
-// is ignored.
-func syncDir(dir string) error {
-	d, err := os.Open(dir)
-	if err != nil {
-		return err
+// splitDir splits path into its directory (default ".") and base name.
+func splitDir(path string) (dir, base string) {
+	d, b := filepath.Split(path)
+	if d == "" {
+		d = "."
 	}
-	defer d.Close()
-	d.Sync()
-	return nil
+	return d, b
 }

@@ -24,6 +24,15 @@
 // later open would trust. A byte budget (Options.MaxBytes) is enforced
 // by evicting least-recently-used entries, oldest access time first.
 //
+// Real I/O faults — ENOSPC, EIO, failed renames — degrade too, through
+// a circuit breaker (DESIGN.md §15): after Options.FailThreshold
+// consecutive disk errors the Dir trips into memory-only degraded mode,
+// where writes stop immediately (no disk traffic) while reads keep
+// trying; after Options.RetryAfter one write is let through as a probe,
+// and a successful probe closes the breaker. Every filesystem call goes
+// through the faultfs.FS seam (Options.FS), so the fault-injection
+// harness exercises exactly the code production runs.
+//
 // Multiple processes may share one cache directory: entries are
 // immutable once written, renames are atomic, and concurrent writers of
 // the same address produce identical bytes by construction.
@@ -32,6 +41,7 @@ package cachedir
 import (
 	"crypto/sha256"
 	"encoding/hex"
+	"errors"
 	"fmt"
 	"io"
 	"io/fs"
@@ -45,6 +55,7 @@ import (
 	"time"
 
 	"repro/internal/atomicfile"
+	"repro/internal/faultfs"
 	"repro/internal/trace"
 )
 
@@ -122,6 +133,16 @@ func ParseSize(s string) (int64, error) {
 	return n * mult, nil
 }
 
+// Degradation defaults (see Options).
+const (
+	// DefaultFailThreshold is how many consecutive I/O errors trip the
+	// breaker when Options.FailThreshold is zero.
+	DefaultFailThreshold = 5
+	// DefaultRetryAfter is the probe cooldown when Options.RetryAfter is
+	// zero.
+	DefaultRetryAfter = 15 * time.Second
+)
+
 // Options configure Open.
 type Options struct {
 	// Mode is the access mode (zero value: ReadWrite).
@@ -136,10 +157,20 @@ type Options struct {
 	// evicts) all prior entries instead of serving stale results. The
 	// experiment harness passes exp.CacheVersion.
 	Version string
+	// FS is the filesystem seam every disk operation goes through (nil =
+	// the real filesystem). The fault-injection harness passes a
+	// faultfs.Injector here.
+	FS faultfs.FS
+	// FailThreshold is how many consecutive I/O errors trip the Dir into
+	// memory-only degraded mode (0 = DefaultFailThreshold).
+	FailThreshold int
+	// RetryAfter is how long a tripped Dir waits before letting one
+	// write probe the disk again (0 = DefaultRetryAfter).
+	RetryAfter time.Duration
 }
 
 // Counters snapshot the cache-traffic statistics (ltexp surfaces them in
-// the -json envelope and the report footer).
+// the -json envelope and the report footer; ltexpd in /v1/stats).
 type Counters struct {
 	// Results tier.
 	Hits       uint64 `json:"hits"`
@@ -151,8 +182,14 @@ type Counters struct {
 	TraceMisses uint64 `json:"trace_misses"`
 	TracePuts   uint64 `json:"trace_puts"`
 	// Eviction.
-	EvictedEntries uint64 `json:"evicted_entries,omitempty"`
-	EvictedBytes   uint64 `json:"evicted_bytes,omitempty"`
+	EvictedEntries  uint64 `json:"evicted_entries,omitempty"`
+	EvictedBytes    uint64 `json:"evicted_bytes,omitempty"`
+	EvictWalkErrors uint64 `json:"evict_walk_errors,omitempty"` // unreadable entries skipped by eviction walks
+	// Degradation (DESIGN.md §15).
+	IOErrors  uint64 `json:"io_errors,omitempty"` // real disk faults (ENOSPC, EIO, …), not plain misses
+	Degraded  bool   `json:"degraded,omitempty"`  // breaker open: memory-only, writes stopped
+	Trips     uint64 `json:"trips,omitempty"`     // times the breaker opened
+	Recovered uint64 `json:"recovered,omitempty"` // times a probe write closed it again
 }
 
 // Dir is an open cache directory. All methods are safe for concurrent
@@ -163,6 +200,8 @@ type Dir struct {
 	mode     Mode
 	maxBytes int64
 	version  string
+	fsys     faultfs.FS
+	brk      breaker
 
 	size    atomic.Int64 // approximate on-disk bytes (exact after each eviction walk)
 	evictMu sync.Mutex   // one eviction walk at a time
@@ -170,6 +209,7 @@ type Dir struct {
 	hits, misses, puts, bad          atomic.Uint64
 	traceHits, traceMisses, tracePut atomic.Uint64
 	evictedN, evictedB               atomic.Uint64
+	ioErr, walkErr                   atomic.Uint64
 }
 
 const (
@@ -196,16 +236,29 @@ func Open(root string, opts Options) (*Dir, error) {
 	if opts.Mode == Off {
 		return nil, nil
 	}
-	d := &Dir{root: root, mode: opts.Mode, maxBytes: opts.MaxBytes, version: opts.Version}
+	fsys := opts.FS
+	if fsys == nil {
+		fsys = faultfs.OS
+	}
+	d := &Dir{root: root, mode: opts.Mode, maxBytes: opts.MaxBytes, version: opts.Version, fsys: fsys}
+	d.brk.threshold = opts.FailThreshold
+	if d.brk.threshold <= 0 {
+		d.brk.threshold = DefaultFailThreshold
+	}
+	d.brk.cooldown = opts.RetryAfter
+	if d.brk.cooldown <= 0 {
+		d.brk.cooldown = DefaultRetryAfter
+	}
+	d.brk.now = time.Now
 	if opts.Mode == ReadWrite {
 		for _, sub := range []string{resultsSub, tracesSub} {
-			if err := os.MkdirAll(filepath.Join(root, sub), 0o777); err != nil {
+			if err := fsys.MkdirAll(filepath.Join(root, sub), 0o777); err != nil {
 				return nil, fmt.Errorf("cachedir: %w", err)
 			}
 		}
 		tag := filepath.Join(root, "CACHEDIR.TAG")
-		if _, err := os.Stat(tag); err != nil {
-			atomicfile.WriteFileBytes(tag, []byte("Signature: 8a477f597d28d172789f06886806bc55\n# This directory holds regenerable ltexp simulation results (see DESIGN.md §12).\n"))
+		if _, err := fsys.Stat(tag); err != nil {
+			atomicfile.WriteFileBytesFS(fsys, tag, []byte("Signature: 8a477f597d28d172789f06886806bc55\n# This directory holds regenerable ltexp simulation results (see DESIGN.md §12).\n"))
 		}
 		d.size.Store(d.walkSize())
 		d.maybeEvict()
@@ -229,15 +282,28 @@ func (d *Dir) Mode() Mode {
 	return d.mode
 }
 
+// Degraded reports whether the breaker is open: the Dir is in
+// memory-only degraded mode, dropping writes while reads keep trying.
+// Health endpoints surface this.
+func (d *Dir) Degraded() bool {
+	if d == nil {
+		return false
+	}
+	deg, _, _ := d.brk.state()
+	return deg
+}
+
 // Counters returns a snapshot of the traffic statistics.
 func (d *Dir) Counters() Counters {
 	if d == nil {
 		return Counters{}
 	}
+	deg, trips, rec := d.brk.state()
 	return Counters{
 		Hits: d.hits.Load(), Misses: d.misses.Load(), Puts: d.puts.Load(), BadEntries: d.bad.Load(),
 		TraceHits: d.traceHits.Load(), TraceMisses: d.traceMisses.Load(), TracePuts: d.tracePut.Load(),
-		EvictedEntries: d.evictedN.Load(), EvictedBytes: d.evictedB.Load(),
+		EvictedEntries: d.evictedN.Load(), EvictedBytes: d.evictedB.Load(), EvictWalkErrors: d.walkErr.Load(),
+		IOErrors: d.ioErr.Load(), Degraded: deg, Trips: trips, Recovered: rec,
 	}
 }
 
@@ -247,6 +313,28 @@ func (d *Dir) Size() int64 {
 		return 0
 	}
 	return d.size.Load()
+}
+
+// ioFailure records a real disk fault (as opposed to a plain miss)
+// against the breaker.
+func (d *Dir) ioFailure(error) {
+	d.ioErr.Add(1)
+	d.brk.failure()
+}
+
+// ioOK records a successful disk operation; a successful write closes
+// an open breaker (probe recovery).
+func (d *Dir) ioOK(write bool) {
+	d.brk.success(write)
+}
+
+// isDiskErr reports whether err came from the filesystem (a PathError
+// or LinkError) rather than from a caller-supplied reader — IngestTrace
+// copies from an HTTP body whose failures must not trip the breaker.
+func isDiskErr(err error) bool {
+	var pe *fs.PathError
+	var le *os.LinkError
+	return errors.As(err, &pe) || errors.As(err, &le)
 }
 
 // addr computes the content address of a cell key: sha256 over the
@@ -273,19 +361,24 @@ func (d *Dir) tracePath(digest string) string {
 // Get implements runner.CacheStore: it returns the payload stored under
 // key, verifying the container checksum. A corrupt or truncated entry is
 // removed (in ReadWrite mode) and reported as a miss — the caller
-// recomputes and repairs it. Hits refresh the file's access time so
-// LRU eviction sees live entries as live even on relatime/noatime
-// mounts.
+// recomputes and repairs it. A real read fault (EIO, not absence) is a
+// miss too, counted against the breaker. Hits refresh the file's access
+// time so LRU eviction sees live entries as live even on
+// relatime/noatime mounts.
 func (d *Dir) Get(key string) ([]byte, bool) {
 	if d == nil {
 		return nil, false
 	}
 	path := d.resultPath(d.addr(key))
-	raw, err := os.ReadFile(path)
+	raw, err := d.fsys.ReadFile(path)
 	if err != nil {
+		if !errors.Is(err, fs.ErrNotExist) {
+			d.ioFailure(err)
+		}
 		d.misses.Add(1)
 		return nil, false
 	}
+	d.ioOK(false)
 	payload, ok := decodeEntry(raw)
 	if !ok {
 		d.bad.Add(1)
@@ -299,24 +392,30 @@ func (d *Dir) Get(key string) ([]byte, bool) {
 }
 
 // Put implements runner.CacheStore: it persists the payload under key,
-// checksummed and atomically written. Best-effort — a read-only cache or
-// an I/O error just reports false.
+// checksummed and atomically written. Best-effort — a read-only cache,
+// a degraded (breaker-open) cache or an I/O error just reports false.
 func (d *Dir) Put(key string, data []byte) bool {
 	if d == nil || d.mode != ReadWrite {
 		return false
 	}
+	if !d.brk.allowWrite() {
+		return false // degraded: memory-only, no disk traffic
+	}
 	path := d.resultPath(d.addr(key))
-	if err := os.MkdirAll(filepath.Dir(path), 0o777); err != nil {
+	if err := d.fsys.MkdirAll(filepath.Dir(path), 0o777); err != nil {
+		d.ioFailure(err)
 		return false
 	}
 	var prev int64
-	if fi, err := os.Stat(path); err == nil {
+	if fi, err := d.fsys.Stat(path); err == nil {
 		prev = fi.Size() // overwriting (repairing) an existing entry
 	}
 	ent := encodeEntry(data)
-	if err := atomicfile.WriteFileBytes(path, ent); err != nil {
+	if err := atomicfile.WriteFileBytesFS(d.fsys, path, ent); err != nil {
+		d.ioFailure(err)
 		return false
 	}
+	d.ioOK(true)
 	d.size.Add(int64(len(ent)) - prev)
 	d.puts.Add(1)
 	d.maybeEvict()
@@ -346,13 +445,22 @@ func decodeEntry(raw []byte) ([]byte, bool) {
 	return payload, true
 }
 
+// ErrDegraded marks write refusals from an open breaker: the disk is
+// known-bad and the Dir is running memory-only until a probe recovers.
+// Callers that surface cache errors (the trace-upload endpoint) match
+// it with errors.Is to report "temporarily unavailable" rather than
+// "bad request".
+var ErrDegraded = errors.New("cachedir: degraded (writes suspended until re-probe)")
+
 // AddTrace persists a materialized trace store under the sha256 of its
 // serialized bytes and returns that digest (the locator the results tier
 // stores as the cell's encoded value). An already-present digest is
 // reused without rewriting — identical streams reached through different
 // cell keys share one file. In ReadOnly mode only reuse is possible; a
 // digest that is not already present returns an error (the caller then
-// simply skips persisting).
+// simply skips persisting). A degraded cache refuses new writes the
+// same way, without touching the disk — callers must treat any AddTrace
+// error as "skip persisting", never as a cell failure.
 func (d *Dir) AddTrace(m *trace.Materialized) (string, error) {
 	if d == nil {
 		return "", fmt.Errorf("cachedir: cache disabled")
@@ -363,20 +471,29 @@ func (d *Dir) AddTrace(m *trace.Materialized) (string, error) {
 	}
 	digest := hex.EncodeToString(h.Sum(nil))
 	path := d.tracePath(digest)
-	if _, err := os.Stat(path); err == nil {
+	if _, err := d.fsys.Stat(path); err == nil {
 		d.touch(path)
 		return digest, nil
 	}
 	if d.mode != ReadWrite {
 		return "", fmt.Errorf("cachedir: read-only cache has no trace %s", digest[:12])
 	}
-	if err := os.MkdirAll(filepath.Dir(path), 0o777); err != nil {
+	if !d.brk.allowWrite() {
+		return "", ErrDegraded
+	}
+	if err := d.fsys.MkdirAll(filepath.Dir(path), 0o777); err != nil {
+		d.ioFailure(err)
 		return "", err
 	}
-	if err := m.WriteFile(path); err != nil {
+	if err := atomicfile.WriteFileFS(d.fsys, path, func(w io.Writer) error {
+		_, err := m.WriteTo(w)
+		return err
+	}); err != nil {
+		d.ioFailure(err)
 		return "", err
 	}
-	if fi, err := os.Stat(path); err == nil {
+	d.ioOK(true)
+	if fi, err := d.fsys.Stat(path); err == nil {
 		d.size.Add(fi.Size())
 	}
 	d.tracePut.Add(1)
@@ -393,37 +510,47 @@ func (d *Dir) AddTrace(m *trace.Materialized) (string, error) {
 // new one is validated as a parseable store, fsynced and atomically
 // renamed into place, exactly the crash-safety contract of AddTrace.
 // A stream that is not a structurally valid store is rejected without
-// touching the tier. ReadOnly and disabled caches refuse ingestion.
+// touching the tier. ReadOnly, disabled and degraded caches refuse
+// ingestion.
 func (d *Dir) IngestTrace(r io.Reader) (digest string, size int64, dup bool, err error) {
 	if d == nil || d.mode != ReadWrite {
 		return "", 0, false, fmt.Errorf("cachedir: trace ingestion needs a read-write cache")
 	}
+	if !d.brk.allowWrite() {
+		return "", 0, false, ErrDegraded
+	}
 	dir := filepath.Join(d.root, tracesSub)
-	if err := os.MkdirAll(dir, 0o777); err != nil {
+	if err := d.fsys.MkdirAll(dir, 0o777); err != nil {
+		d.ioFailure(err)
 		return "", 0, false, err
 	}
-	tmp, err := os.CreateTemp(dir, "ingest*.tmp")
+	tmp, err := d.fsys.CreateTemp(dir, "ingest*.tmp")
 	if err != nil {
+		d.ioFailure(err)
 		return "", 0, false, err
 	}
 	defer func() {
 		tmp.Close()
-		os.Remove(tmp.Name()) // no-op once renamed
+		d.fsys.Remove(tmp.Name()) // no-op once renamed
 	}()
 	h := sha256.New()
 	size, err = io.Copy(io.MultiWriter(tmp, h), r)
 	if err != nil {
+		if isDiskErr(err) {
+			d.ioFailure(err) // spool fault, not an uploader fault
+		}
 		return "", 0, false, err
 	}
 	digest = hex.EncodeToString(h.Sum(nil))
 	path := d.tracePath(digest)
-	if _, err := os.Stat(path); err == nil {
+	if _, err := d.fsys.Stat(path); err == nil {
 		// Content-addressed dedup: the bytes are already here.
 		d.touch(path)
 		d.traceHits.Add(1)
 		return digest, size, true, nil
 	}
 	if err := tmp.Sync(); err != nil {
+		d.ioFailure(err)
 		return "", 0, false, err
 	}
 	// Validate before publishing: only parseable stores enter the tier
@@ -434,16 +561,16 @@ func (d *Dir) IngestTrace(r io.Reader) (digest string, size int64, dup bool, err
 		return "", 0, false, fmt.Errorf("cachedir: not a valid trace store: %w", err)
 	}
 	m.Close()
-	if err := os.MkdirAll(filepath.Dir(path), 0o777); err != nil {
+	if err := d.fsys.MkdirAll(filepath.Dir(path), 0o777); err != nil {
+		d.ioFailure(err)
 		return "", 0, false, err
 	}
-	if err := os.Rename(tmp.Name(), path); err != nil {
+	if err := d.fsys.Rename(tmp.Name(), path); err != nil {
+		d.ioFailure(err)
 		return "", 0, false, err
 	}
-	if df, err := os.Open(filepath.Dir(path)); err == nil {
-		df.Sync() // make the rename durable; optional on some filesystems
-		df.Close()
-	}
+	d.fsys.SyncDir(filepath.Dir(path)) // make the rename durable; optional on some filesystems
+	d.ioOK(true)
 	d.size.Add(size)
 	d.tracePut.Add(1)
 	d.maybeEvict()
@@ -457,6 +584,7 @@ func (d *Dir) IngestTrace(r io.Reader) (digest string, size int64, dup bool, err
 // a miss, so the stream is re-materialized and the entry repaired.
 func (d *Dir) OpenTrace(digest string) (*trace.Materialized, bool) {
 	if d == nil {
+		d.traceMissInc()
 		return nil, false
 	}
 	if len(digest) != 2*sha256.Size || strings.ContainsAny(digest, "/\\.") {
@@ -466,12 +594,10 @@ func (d *Dir) OpenTrace(digest string) (*trace.Materialized, bool) {
 	path := d.tracePath(digest)
 	m, err := trace.OpenStore(path)
 	if err != nil {
-		if _, statErr := os.Stat(path); statErr == nil {
+		if fi, statErr := d.fsys.Stat(path); statErr == nil {
 			// The file exists but does not parse: poisoned, not absent.
 			d.bad.Add(1)
-			if fi, err2 := os.Stat(path); err2 == nil {
-				d.removeBad(path, fi.Size())
-			}
+			d.removeBad(path, fi.Size())
 		}
 		d.traceMisses.Add(1)
 		return nil, false
@@ -481,26 +607,34 @@ func (d *Dir) OpenTrace(digest string) (*trace.Materialized, bool) {
 	return m, true
 }
 
+// traceMissInc is the nil-receiver-safe trace-miss counter bump.
+func (d *Dir) traceMissInc() {
+	if d != nil {
+		d.traceMisses.Add(1)
+	}
+}
+
 // removeBad deletes a corrupt entry (ReadWrite mode only) so the next
 // writer repairs it instead of tripping over it forever.
 func (d *Dir) removeBad(path string, size int64) {
 	if d.mode != ReadWrite {
 		return
 	}
-	if os.Remove(path) == nil {
+	if d.fsys.Remove(path) == nil {
 		d.size.Add(-size)
 	}
 }
 
 // touch refreshes a file's access time (best-effort; skipped in
-// ReadOnly mode) so LRU-by-atime eviction tracks real use even on
-// mounts that suppress atime updates.
+// ReadOnly mode and while degraded — it is a metadata write) so
+// LRU-by-atime eviction tracks real use even on mounts that suppress
+// atime updates.
 func (d *Dir) touch(path string) {
-	if d.mode != ReadWrite {
+	if d.mode != ReadWrite || d.Degraded() {
 		return
 	}
-	if fi, err := os.Stat(path); err == nil {
-		os.Chtimes(path, time.Now(), fi.ModTime())
+	if fi, err := d.fsys.Stat(path); err == nil {
+		d.fsys.Chtimes(path, time.Now(), fi.ModTime())
 	}
 }
 
@@ -520,16 +654,28 @@ type entryFile struct {
 	atime time.Time
 }
 
-// listEntries walks both tiers and returns every entry file.
+// listEntries walks both tiers and returns every entry file. Unreadable
+// subtrees are skipped (eviction is best-effort) but counted, so an
+// operator can see a walk that silently covers less than the whole
+// store.
 func (d *Dir) listEntries() []entryFile {
 	var out []entryFile
 	for _, sub := range []string{resultsSub, tracesSub} {
-		filepath.WalkDir(filepath.Join(d.root, sub), func(path string, de fs.DirEntry, err error) error {
-			if err != nil || de.IsDir() {
-				return nil // skip unreadable subtrees; eviction is best-effort
+		d.fsys.WalkDir(filepath.Join(d.root, sub), func(path string, de fs.DirEntry, err error) error {
+			if err != nil {
+				if !errors.Is(err, fs.ErrNotExist) {
+					d.walkErr.Add(1)
+				}
+				return nil
+			}
+			if de.IsDir() {
+				return nil
 			}
 			fi, err := de.Info()
 			if err != nil {
+				if !errors.Is(err, fs.ErrNotExist) {
+					d.walkErr.Add(1)
+				}
 				return nil
 			}
 			out = append(out, entryFile{path: path, size: fi.Size(), atime: fileAtime(fi)})
@@ -543,9 +689,10 @@ func (d *Dir) listEntries() []entryFile {
 // MaxBytes, entries are removed oldest-access-first until the total is
 // below the budget minus headroom (so each overflow triggers one walk,
 // not one per Put). A single walk runs at a time; concurrent Puts during
-// a walk are picked up by the next one.
+// a walk are picked up by the next one. A degraded Dir skips eviction:
+// the disk is known-bad and nothing new is being written to it.
 func (d *Dir) maybeEvict() {
-	if d.mode != ReadWrite || d.maxBytes <= 0 || d.size.Load() <= d.maxBytes {
+	if d.mode != ReadWrite || d.maxBytes <= 0 || d.size.Load() <= d.maxBytes || d.Degraded() {
 		return
 	}
 	d.evictMu.Lock()
@@ -562,7 +709,7 @@ func (d *Dir) maybeEvict() {
 			if total <= target {
 				break
 			}
-			if os.Remove(f.path) == nil {
+			if d.fsys.Remove(f.path) == nil {
 				total -= f.size
 				d.evictedN.Add(1)
 				d.evictedB.Add(uint64(f.size))

@@ -70,7 +70,13 @@ type traceCodec struct {
 	dir *cachedir.Dir
 }
 
-// Encode implements runner.Codec.
+// Encode implements runner.Codec. An AddTrace failure — a full or dead
+// disk, or a cache already degraded into memory-only mode — returns an
+// error, which the runner's persist path treats as "skip persisting":
+// the cell's computed value is still returned to its job untouched. A
+// persist-side fault must never fail a cell (the cache is an
+// accelerator, not a dependency); TestTracePersistFailureDoesNotFailCell
+// pins this.
 func (tc traceCodec) Encode(v any) ([]byte, error) {
 	m, ok := v.(*trace.Materialized)
 	if !ok {

@@ -1,0 +1,57 @@
+package exp
+
+import (
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/internal/cachedir"
+	"repro/internal/faultfs"
+	"repro/internal/runner"
+	"repro/internal/workload"
+)
+
+// A persist-side failure in the traceCodec path (a dead or degraded
+// disk under AddTrace) must never fail the mat cell: the computed trace
+// is still returned, the job proceeds, and the cache merely reports
+// Executed > 0 next time instead of a warm hit. This pins the
+// "accelerator, never a dependency" contract against the write path.
+func TestTracePersistFailureDoesNotFailCell(t *testing.T) {
+	inj := faultfs.NewInjector(1)
+	dir, err := cachedir.Open(t.TempDir(), cachedir.Options{
+		Mode: cachedir.ReadWrite, Version: CacheVersion,
+		FS: inj, FailThreshold: 2, RetryAfter: time.Hour,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every write-side op fails: AddTrace cannot persist anything.
+	inj.SetRules(
+		faultfs.Rule{Op: faultfs.OpWrite, Err: syscall.ENOSPC},
+		faultfs.Rule{Op: faultfs.OpCreate, Err: syscall.ENOSPC},
+		faultfs.Rule{Op: faultfs.OpMkdir, Err: syscall.ENOSPC},
+	)
+	s := runner.New(2)
+	s.SetStore(dir)
+	m, err := MaterializedTrace(dir, workload.Presets()[0], workload.Small, 1)
+	if err != nil {
+		t.Fatalf("mat cell failed on persist-side fault: %v", err)
+	}
+	if m.Refs() == 0 {
+		t.Fatal("mat cell returned an empty trace")
+	}
+	if c := dir.Counters(); c.TracePuts != 0 || c.IOErrors == 0 {
+		t.Fatalf("counters = %+v, want 0 trace puts and some I/O errors", c)
+	}
+
+	// Once the breaker trips, further cells still succeed with zero
+	// additional disk traffic on the write side.
+	for i := 0; i < 3; i++ {
+		if _, err := MaterializedTrace(dir, workload.Presets()[0], workload.Small, uint64(10+i)); err != nil {
+			t.Fatalf("cell %d failed while degraded: %v", i, err)
+		}
+	}
+	if !dir.Degraded() {
+		t.Fatalf("breaker never tripped: %+v", dir.Counters())
+	}
+}

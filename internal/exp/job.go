@@ -170,15 +170,20 @@ func statsDelta(after, before runner.Stats) runner.Stats {
 // countersDelta subtracts two cache counter snapshots fieldwise.
 func countersDelta(after, before cachedir.Counters) cachedir.Counters {
 	return cachedir.Counters{
-		Hits:           after.Hits - before.Hits,
-		Misses:         after.Misses - before.Misses,
-		Puts:           after.Puts - before.Puts,
-		BadEntries:     after.BadEntries - before.BadEntries,
-		TraceHits:      after.TraceHits - before.TraceHits,
-		TraceMisses:    after.TraceMisses - before.TraceMisses,
-		TracePuts:      after.TracePuts - before.TracePuts,
-		EvictedEntries: after.EvictedEntries - before.EvictedEntries,
-		EvictedBytes:   after.EvictedBytes - before.EvictedBytes,
+		Hits:            after.Hits - before.Hits,
+		Misses:          after.Misses - before.Misses,
+		Puts:            after.Puts - before.Puts,
+		BadEntries:      after.BadEntries - before.BadEntries,
+		TraceHits:       after.TraceHits - before.TraceHits,
+		TraceMisses:     after.TraceMisses - before.TraceMisses,
+		TracePuts:       after.TracePuts - before.TracePuts,
+		EvictedEntries:  after.EvictedEntries - before.EvictedEntries,
+		EvictedBytes:    after.EvictedBytes - before.EvictedBytes,
+		EvictWalkErrors: after.EvictWalkErrors - before.EvictWalkErrors,
+		IOErrors:        after.IOErrors - before.IOErrors,
+		Degraded:        after.Degraded, // a state, not a count: report where the Dir ended up
+		Trips:           after.Trips - before.Trips,
+		Recovered:       after.Recovered - before.Recovered,
 	}
 }
 
@@ -223,6 +228,13 @@ func (r *JobResult) Summary() string {
 		cc := r.Cache
 		fmt.Fprintf(&b, "\ncache(%s): %d disk hits, %d persisted; traces: %d hits, %d stored; %d bad entries repaired, %d evicted (%s)",
 			r.cacheMode, st.DiskHits, st.Persisted, cc.TraceHits, cc.TracePuts, cc.BadEntries, cc.EvictedEntries, r.cacheRoot)
+		if cc.IOErrors > 0 || cc.Degraded {
+			state := "recovered"
+			if cc.Degraded {
+				state = "DEGRADED (memory-only; writes suspended)"
+			}
+			fmt.Fprintf(&b, "\ncache: %d I/O errors, %s", cc.IOErrors, state)
+		}
 	}
 	return b.String()
 }

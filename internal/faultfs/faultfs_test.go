@@ -1,0 +1,159 @@
+package faultfs
+
+import (
+	"errors"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"syscall"
+	"testing"
+	"time"
+)
+
+func TestPassthrough(t *testing.T) {
+	inj := NewInjector(1)
+	dir := t.TempDir()
+	f, err := inj.CreateTemp(dir, "x*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	dst := filepath.Join(dir, "final")
+	if err := inj.Rename(f.Name(), dst); err != nil {
+		t.Fatal(err)
+	}
+	got, err := inj.ReadFile(dst)
+	if err != nil || string(got) != "hello" {
+		t.Fatalf("ReadFile = %q, %v", got, err)
+	}
+	if inj.Injected() != 0 {
+		t.Fatalf("passthrough injected %d faults", inj.Injected())
+	}
+}
+
+func TestEnospcAfterN(t *testing.T) {
+	inj := NewInjector(1, Rule{Op: OpWrite, After: 2, Err: syscall.ENOSPC})
+	dir := t.TempDir()
+	f, _ := inj.CreateTemp(dir, "x*")
+	defer f.Close()
+	for i := 0; i < 2; i++ {
+		if _, err := f.Write([]byte("ok")); err != nil {
+			t.Fatalf("write %d failed early: %v", i, err)
+		}
+	}
+	if _, err := f.Write([]byte("boom")); !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("write 3 = %v, want ENOSPC", err)
+	}
+}
+
+func TestShortWriteLeavesTornArtifact(t *testing.T) {
+	inj := NewInjector(1, Rule{Op: OpWrite, Err: syscall.ENOSPC, Short: 3})
+	dir := t.TempDir()
+	f, _ := inj.CreateTemp(dir, "x*")
+	n, err := f.Write([]byte("abcdef"))
+	if n != 3 || !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("short write = %d, %v; want 3, ENOSPC", n, err)
+	}
+	f.Close()
+	got, _ := os.ReadFile(f.Name())
+	if string(got) != "abc" {
+		t.Fatalf("torn artifact = %q, want %q", got, "abc")
+	}
+}
+
+func TestCountBoundsFiring(t *testing.T) {
+	inj := NewInjector(1, Rule{Op: OpRead, Count: 1, Err: syscall.EIO})
+	dir := t.TempDir()
+	path := filepath.Join(dir, "f")
+	os.WriteFile(path, []byte("x"), 0o666)
+	if _, err := inj.ReadFile(path); !errors.Is(err, syscall.EIO) {
+		t.Fatalf("first read = %v, want EIO", err)
+	}
+	if _, err := inj.ReadFile(path); err != nil {
+		t.Fatalf("second read = %v, want success (Count consumed)", err)
+	}
+}
+
+func TestPathFilterAndSetRules(t *testing.T) {
+	inj := NewInjector(1, Rule{Op: OpAny, Path: "results", Err: syscall.EIO})
+	dir := t.TempDir()
+	other := filepath.Join(dir, "traces", "f")
+	os.MkdirAll(filepath.Dir(other), 0o777)
+	os.WriteFile(other, []byte("x"), 0o666)
+	if _, err := inj.ReadFile(other); err != nil {
+		t.Fatalf("non-matching path faulted: %v", err)
+	}
+	hit := filepath.Join(dir, "results", "f")
+	if _, err := inj.Stat(hit); !errors.Is(err, syscall.EIO) {
+		t.Fatalf("matching path = %v, want EIO", err)
+	}
+	inj.SetRules() // heal
+	if _, err := inj.ReadFile(other); err != nil {
+		t.Fatalf("healed read: %v", err)
+	}
+}
+
+func TestSeededProbIsDeterministic(t *testing.T) {
+	run := func() []bool {
+		inj := NewInjector(42, Rule{Op: OpStat, Prob: 0.5, Err: syscall.EIO})
+		out := make([]bool, 32)
+		dir := t.TempDir()
+		path := filepath.Join(dir, "f")
+		os.WriteFile(path, []byte("x"), 0o666)
+		for i := range out {
+			_, err := inj.Stat(path)
+			out[i] = err != nil
+		}
+		return out
+	}
+	a, b := run(), run()
+	var fired int
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("seeded schedule diverged at op %d", i)
+		}
+		if a[i] {
+			fired++
+		}
+	}
+	if fired == 0 || fired == len(a) {
+		t.Fatalf("prob 0.5 fired %d/%d times", fired, len(a))
+	}
+}
+
+func TestWalkFaultReachesCallback(t *testing.T) {
+	inj := NewInjector(1, Rule{Op: OpWalk, Err: syscall.EIO})
+	var seen error
+	inj.WalkDir(t.TempDir(), func(path string, de fs.DirEntry, err error) error {
+		seen = err
+		return nil
+	})
+	if !errors.Is(seen, syscall.EIO) {
+		t.Fatalf("walk callback saw %v, want EIO", seen)
+	}
+}
+
+func TestDeadDiskFailsEverything(t *testing.T) {
+	inj := NewInjector(1, Rule{Op: OpAny, Err: syscall.EIO})
+	dir := t.TempDir()
+	if _, err := inj.CreateTemp(dir, "x*"); !errors.Is(err, syscall.EIO) {
+		t.Fatalf("CreateTemp = %v", err)
+	}
+	if err := inj.MkdirAll(filepath.Join(dir, "sub"), 0o777); !errors.Is(err, syscall.EIO) {
+		t.Fatalf("MkdirAll = %v", err)
+	}
+	if err := inj.Chtimes(dir, time.Now(), time.Now()); !errors.Is(err, syscall.EIO) {
+		t.Fatalf("Chtimes = %v", err)
+	}
+	if err := inj.SyncDir(dir); !errors.Is(err, syscall.EIO) {
+		t.Fatalf("SyncDir = %v", err)
+	}
+}

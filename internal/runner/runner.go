@@ -28,6 +28,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 )
@@ -287,10 +288,19 @@ func (s *Scheduler) DoCtx(ctx context.Context, c Cell) (any, error) {
 		s.count(func(st *Stats) { st.DiskHits++ })
 	} else {
 		s.count(func(st *Stats) { st.Executed++ })
-		e.val, e.err = c.Run()
+		e.val, e.err = s.runCell(c)
 		var ce *cellError
 		if e.err != nil && !errors.As(e.err, &ce) {
 			e.err = &cellError{key: c.Key, err: e.err}
+		}
+		var pe *PanicError
+		if errors.As(e.err, &pe) {
+			// A panic is a bug, not a deterministic result: un-publish so it
+			// is never memoized. Current waiters see the error once; a later
+			// submission of the key recomputes.
+			s.mu.Lock()
+			delete(s.cells, c.Key)
+			s.mu.Unlock()
 		}
 		if e.err == nil && s.persist(c, e.val) {
 			s.count(func(st *Stats) { st.Persisted++ })
@@ -298,6 +308,31 @@ func (s *Scheduler) DoCtx(ctx context.Context, c Cell) (any, error) {
 	}
 	close(e.done)
 	return e.val, e.err
+}
+
+// PanicError carries a recovered cell panic: the panic value and the
+// goroutine stack captured at recovery time. The scheduler converts cell
+// panics into this error so a broken cell fails its own job — with the
+// stack preserved for the log — instead of killing the process; cells
+// run on workers shared by every job in a daemon.
+type PanicError struct {
+	Value any
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("cell panicked: %v\n%s", e.Value, e.Stack)
+}
+
+// runCell executes a cell body, recovering panics into a *PanicError.
+func (s *Scheduler) runCell(c Cell) (v any, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			v = nil
+			err = &PanicError{Value: r, Stack: debug.Stack()}
+		}
+	}()
+	return c.Run()
 }
 
 // isCanceled reports whether err is a context cancellation (direct or

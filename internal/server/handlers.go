@@ -4,8 +4,10 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"strings"
+	"time"
 
 	"repro/internal/buildinfo"
 	"repro/internal/cachedir"
@@ -112,6 +114,12 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusInternalServerError, "streaming unsupported")
 		return
 	}
+	// The server's ReadTimeout deadline was set when the request arrived;
+	// an SSE stream legitimately outlives it, so lift the per-connection
+	// deadlines for this route only.
+	rc := http.NewResponseController(w)
+	rc.SetReadDeadline(time.Time{})
+	rc.SetWriteDeadline(time.Time{})
 	w.Header().Set("Content-Type", "text/event-stream")
 	w.Header().Set("Cache-Control", "no-cache")
 	w.Header().Set("Connection", "keep-alive")
@@ -165,10 +173,26 @@ func (s *Server) handleTraceUpload(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusServiceUnavailable, "no persistent cache configured (start ltexpd with -cache-dir)")
 		return
 	}
-	digest, n, dup, err := s.cfg.Cache.IngestTrace(r.Body)
+	// A legitimate trace upload can take longer than the server-wide
+	// ReadTimeout allows; the body cap, not the clock, is this route's
+	// limit.
+	http.NewResponseController(w).SetReadDeadline(time.Time{})
+	body := io.Reader(r.Body)
+	if limit := s.maxTraceBytes(); limit > 0 {
+		body = http.MaxBytesReader(w, r.Body, limit)
+	}
+	digest, n, dup, err := s.cfg.Cache.IngestTrace(body)
 	if err != nil {
+		var tooBig *http.MaxBytesError
 		status := http.StatusBadRequest
-		if !strings.Contains(err.Error(), "not a valid trace store") {
+		switch {
+		case errors.As(err, &tooBig):
+			status = http.StatusRequestEntityTooLarge
+		case errors.Is(err, cachedir.ErrDegraded):
+			// The cache is riding out a disk fault memory-only; the upload
+			// is retryable once it recovers.
+			status = http.StatusServiceUnavailable
+		case !strings.Contains(err.Error(), "not a valid trace store"):
 			status = http.StatusInternalServerError
 		}
 		writeError(w, status, "trace upload: %v", err)
@@ -206,15 +230,26 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	}{s.cfg.Sched.Stats(), s.cfg.Sched.Parallelism(), cc, size, s.mgr.CountByState(), s.Uptime().Seconds()})
 }
 
-// handleHealthz is the liveness probe: identity and uptime.
+// handleHealthz is the liveness probe: identity, uptime, and the
+// persistent cache's degradation state ("ok", "degraded" — breaker
+// open, running memory-only — or "none" without a cache). The daemon is
+// alive in every one of those states; degraded only means slower.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	cache := "none"
+	if s.cfg.Cache != nil {
+		cache = "ok"
+		if s.cfg.Cache.Degraded() {
+			cache = "degraded"
+		}
+	}
 	writeJSON(w, http.StatusOK, struct {
 		Status       string  `json:"status"`
+		Cache        string  `json:"cache"`
 		Version      string  `json:"version"`
 		Commit       string  `json:"commit"`
 		CacheVersion string  `json:"cache_version"`
 		UptimeSec    float64 `json:"uptime_s"`
-	}{"ok", buildinfo.Version, buildinfo.Commit(), buildinfo.CacheVersion, s.Uptime().Seconds()})
+	}{"ok", cache, buildinfo.Version, buildinfo.Commit(), buildinfo.CacheVersion, s.Uptime().Seconds()})
 }
 
 // handleReadyz is the readiness probe: 503 once draining.

@@ -1,0 +1,113 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/internal/cachedir"
+	"repro/internal/faultfs"
+)
+
+// An upload body over MaxTraceBytes is refused with 413 before it can
+// spool unbounded bytes to disk; a body under the cap still lands.
+func TestTraceUploadBodyBound(t *testing.T) {
+	cache, err := cachedir.Open(t.TempDir(), cachedir.Options{Version: "v1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	small := uploadableTrace(t, 10)
+	s := newTestServer(t, nil, Config{Cache: cache, MaxTraceBytes: int64(len(small))})
+	h := s.Handler()
+
+	req := httptest.NewRequest("POST", "/v1/traces", bytes.NewReader(small))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusCreated {
+		t.Fatalf("within-cap upload: %d, want 201", rec.Code)
+	}
+
+	big := uploadableTrace(t, 5000)
+	req = httptest.NewRequest("POST", "/v1/traces", bytes.NewReader(big))
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized upload: %d, want 413", rec.Code)
+	}
+	// The refused body left nothing behind in the tier.
+	if c := cache.Counters(); c.TracePuts != 1 {
+		t.Fatalf("trace puts after refused upload = %d, want 1", c.TracePuts)
+	}
+}
+
+// A degraded cache refuses uploads with 503 (retryable), not 400 or
+// 500, and /healthz reports the state.
+func TestTraceUploadDegradedCache(t *testing.T) {
+	inj := faultfs.NewInjector(1)
+	cache, err := cachedir.Open(t.TempDir(), cachedir.Options{Version: "v1", FS: inj, FailThreshold: 1, RetryAfter: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := newTestServer(t, nil, Config{Cache: cache})
+	h := s.Handler()
+
+	healthCache := func() string {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest("GET", "/healthz", nil))
+		var out struct {
+			Cache string `json:"cache"`
+		}
+		json.Unmarshal(rec.Body.Bytes(), &out)
+		return out.Cache
+	}
+	if got := healthCache(); got != "ok" {
+		t.Fatalf("healthz cache = %q, want ok", got)
+	}
+
+	// Kill the disk and trip the breaker with one faulted write.
+	inj.SetRules(faultfs.Rule{Op: faultfs.OpAny, Err: syscall.EIO})
+	cache.Put("trip", []byte("v"))
+	if !cache.Degraded() {
+		t.Fatal("breaker did not trip")
+	}
+	req := httptest.NewRequest("POST", "/v1/traces", bytes.NewReader(uploadableTrace(t, 10)))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("degraded upload: %d, want 503", rec.Code)
+	}
+	if got := healthCache(); got != "degraded" {
+		t.Fatalf("healthz cache = %q, want degraded", got)
+	}
+
+	// /v1/stats carries the degradation counters.
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/v1/stats", nil))
+	var stats struct {
+		Cache *cachedir.Counters `json:"cache"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &stats); err != nil || stats.Cache == nil {
+		t.Fatalf("stats: %v %q", err, rec.Body.String())
+	}
+	if !stats.Cache.Degraded || stats.Cache.IOErrors == 0 || stats.Cache.Trips != 1 {
+		t.Fatalf("stats counters = %+v, want degraded with a trip", stats.Cache)
+	}
+}
+
+// Without a cache, /healthz reports cache "none".
+func TestHealthzCacheNone(t *testing.T) {
+	s := newTestServer(t, nil, Config{})
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/healthz", nil))
+	var out struct {
+		Cache string `json:"cache"`
+	}
+	json.Unmarshal(rec.Body.Bytes(), &out)
+	if out.Cache != "none" {
+		t.Fatalf("healthz cache = %q, want none", out.Cache)
+	}
+}

@@ -40,9 +40,20 @@ type Config struct {
 	// Burst is its capacity (default 2×rate).
 	RatePerSec float64
 	Burst      float64
+	// MaxTraceBytes bounds a single POST /v1/traces body; an oversized
+	// upload gets 413 before it can spool an unbounded stream to disk
+	// (0 = DefaultMaxTraceBytes, < 0 = unlimited).
+	MaxTraceBytes int64
 	// Logger receives request and lifecycle lines (default: log.Default).
 	Logger *log.Logger
 }
+
+// DefaultMaxTraceBytes is the trace-upload body cap when
+// Config.MaxTraceBytes is zero. Materialized stores for the paper's
+// scales are tens to hundreds of megabytes; 4 GiB leaves generous
+// headroom without letting one client fill the disk in a single
+// request.
+const DefaultMaxTraceBytes = 4 << 30
 
 // Server is the assembled daemon: job manager plus HTTP surface.
 type Server struct {
@@ -111,6 +122,17 @@ func (s *Server) buildHandler() http.Handler {
 	h = requestLog(s.logger, h)
 	h = requestID(h)
 	return h
+}
+
+// maxTraceBytes resolves the trace-upload body cap (0 = unlimited).
+func (s *Server) maxTraceBytes() int64 {
+	switch {
+	case s.cfg.MaxTraceBytes < 0:
+		return 0
+	case s.cfg.MaxTraceBytes == 0:
+		return DefaultMaxTraceBytes
+	}
+	return s.cfg.MaxTraceBytes
 }
 
 // bucket builds the configured rate limiter (nil when disabled).
